@@ -1,0 +1,57 @@
+// Command calibrate probes the Pl@ntNet engine model against the paper's
+// anchor measurements. It exists for model development: after changing
+// internal/plantnet/calibration.go, run this to see where the model lands
+// on every anchored quantity.
+//
+//	go run ./cmd/calibrate [-duration 600]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"e2clab/internal/export"
+	"e2clab/internal/plantnet"
+)
+
+var flagDuration = flag.Float64("duration", 600, "simulated seconds per probe")
+
+func run(cfg plantnet.PoolConfig, n int) *plantnet.Metrics {
+	m, err := plantnet.Run(plantnet.RunOptions{Pools: cfg, Clients: n, Duration: *flagDuration, Seed: 42})
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func main() {
+	flag.Parse()
+
+	t := export.NewTable("anchors: user response time (paper values in parentheses)",
+		"workload", "baseline", "preliminary", "refined")
+	refs := map[int][3]string{
+		80:  {"(2.657)", "(2.484)", "(2.476)"},
+		120: {"(3.86)", "", ""},
+		140: {"", "", ""},
+	}
+	for _, n := range []int{80, 120, 140} {
+		b, p, r := run(plantnet.Baseline, n), run(plantnet.PreliminaryOptimum, n), run(plantnet.RefinedOptimum, n)
+		t.AddRow(n,
+			fmt.Sprintf("%.3f %s", b.UserResponseTime.Mean, refs[n][0]),
+			fmt.Sprintf("%.3f %s", p.UserResponseTime.Mean, refs[n][1]),
+			fmt.Sprintf("%.3f %s", r.UserResponseTime.Mean, refs[n][2]))
+	}
+	fmt.Print(t.String())
+
+	s := export.NewTable("\nextract sweep @ h=d=54 ss=53 N=80 (paper: minimum at 6; CPU 100% at 8-9)",
+		"extract", "resp", "thr", "cpu", "exBusy", "ssBusy", "ssTime", "waitEx", "exTime")
+	for e := 5; e <= 9; e++ {
+		cfg := plantnet.PoolConfig{HTTP: 54, Download: 54, Extract: e, Simsearch: 53}
+		m := run(cfg, 80)
+		s.AddRow(e, m.UserResponseTime.Mean, fmt.Sprintf("%.1f", m.Throughput),
+			fmt.Sprintf("%.2f", m.CPUUtil.Mean), fmt.Sprintf("%.2f", m.ExtractBusy.Mean),
+			fmt.Sprintf("%.2f", m.SimsearchBusy.Mean),
+			m.TaskTimes["simsearch"].Mean, m.TaskTimes["wait-extract"].Mean, m.TaskTimes["extract"].Mean)
+	}
+	fmt.Print(s.String())
+}

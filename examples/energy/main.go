@@ -1,0 +1,69 @@
+// Energy-aware scaling: the paper's Section II-B names "minimizing energy
+// consumption ... and maximize throughput" as the canonical multi-objective
+// problem class. This example runs NSGA-II directly on the engine model to
+// trade user response time against total engine power draw under a heavy
+// 160-request workload, with the replica count (how many chifflot nodes
+// run the engine) as an optimization variable alongside the Equation 2
+// thread pools.
+//
+// More replicas cut the response time but each powered node costs ~150-200
+// watts, so the Pareto front exposes the scale-out decision of Section V-B.
+//
+//	go run ./examples/energy [-duration 150] [-generations 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"e2clab/internal/export"
+	"e2clab/internal/metaheur"
+	"e2clab/internal/plantnet"
+	"e2clab/internal/space"
+)
+
+func main() {
+	duration := flag.Float64("duration", 150, "simulated seconds per evaluation")
+	generations := flag.Int("generations", 8, "NSGA-II generations")
+	flag.Parse()
+
+	s := space.New(
+		space.Int("http", 20, 60),
+		space.Int("download", 20, 60),
+		space.Int("simsearch", 20, 60),
+		space.Int("extract", 3, 9),
+		space.Int("replicas", 1, 4),
+	)
+	evals := 0
+	objectives := func(x []float64) []float64 {
+		evals++
+		m, err := plantnet.Run(plantnet.RunOptions{
+			Pools:    plantnet.FromVector(x[:4]),
+			Replicas: int(x[4]),
+			Clients:  160,
+			Duration: *duration,
+			Seed:     17,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		power := m.GPUPowerW.Mean + m.CPUPowerW.Mean // total engine watts
+		return []float64{m.UserResponseTime.Mean, power}
+	}
+
+	fmt.Println("optimizing (user_resp_time, engine power) with NSGA-II, workload 160...")
+	front := metaheur.NSGA2{Seed: 17, PopSize: 16}.MinimizeMulti(s, objectives, *generations)
+	sort.Slice(front, func(i, j int) bool { return front[i].Y[0] < front[j].Y[0] })
+
+	t := export.NewTable(fmt.Sprintf("Pareto front (%d points, %d engine runs)", len(front), evals),
+		"config", "resp (s)", "power (W)")
+	for _, pt := range front {
+		t.AddRow(s.Format(pt.X), pt.Y[0], fmt.Sprintf("%.0f", pt.Y[1]))
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nreading: every extra replica roughly halves the saturated response")
+	fmt.Println("time at the cost of another node's power draw — the operator picks")
+	fmt.Println("the knee; the paper's methodology automates finding this front.")
+}

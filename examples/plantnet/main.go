@@ -1,0 +1,92 @@
+// Pl@ntNet end-to-end reproduction of the paper's Listing 1: the
+// user-defined optimization that tunes the Identification Engine's thread
+// pools on the (simulated) Grid'5000 testbed.
+//
+// The Go equivalent of the paper's Python:
+//
+//	algo = SkOptSearch(Optimizer(base_estimator='ET', n_initial_points=45,
+//	                             initial_point_generator="lhs",
+//	                             acq_func="gp_hedge"))
+//	algo = ConcurrencyLimiter(algo, max_concurrent=2)
+//	scheduler = AsyncHyperBandScheduler()
+//	tune.run(run_objective, metric="user_resp_time", mode="min",
+//	         name="plantnet_engine", search_alg=algo, scheduler=scheduler,
+//	         num_samples=10, config={http/download/simsearch: 20..60,
+//	                                  extract: 3..9})
+//
+//	go run ./examples/plantnet [-duration 300] [-samples 24]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"e2clab/internal/core"
+	"e2clab/internal/plantnet"
+	"e2clab/internal/space"
+)
+
+func main() {
+	duration := flag.Float64("duration", 300, "seconds of engine time per evaluation (paper: 1380)")
+	samples := flag.Int("samples", 24, "configurations to evaluate (Listing 1 used 10 after 45 initial points)")
+	flag.Parse()
+
+	// The scenario: engine on chifflot (GPU nodes), deployed through the
+	// E2Clab service abstraction.
+	registry := core.NewRegistry()
+	svc := &core.PlantNetService{}
+	if err := registry.Register(svc); err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "plantnet-opt-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := core.NewManager(core.Spec{
+		Problem: space.PlantNetProblem(), // Equation 2: bounds ±50% of Table II
+		Search: core.SearchSpec{
+			Algorithm:             "skopt",
+			BaseEstimator:         "ET",
+			NInitialPoints:        10,
+			InitialPointGenerator: "lhs",
+			AcqFunc:               "gp_hedge",
+		},
+		NumSamples:    *samples,
+		MaxConcurrent: 2, // ConcurrencyLimiter(max_concurrent=2)
+		UseASHA:       true,
+		Repeat:        1,
+		Duration:      *duration,
+		Seed:          42,
+		ArchiveDir:    dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("optimizing Pl@ntNet thread pools (workload: 80 simultaneous requests)...")
+	res, err := mgr.Optimize(core.PlantNetObjective(80, 42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	found := plantnet.FromVector(res.Best)
+	fmt.Printf("\nfound configuration:    %s\n", found)
+	fmt.Printf("user response time:     %.3f s\n", res.BestY)
+
+	// Compare with the production baseline, as Table III does.
+	base, err := plantnet.RunRepeated(plantnet.RunOptions{
+		Pools: plantnet.Baseline, Clients: 80, Duration: *duration, Seed: 42}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline (%s): %.3f s\n", plantnet.Baseline, base.UserResponseTime.Mean)
+	gain := (base.UserResponseTime.Mean - res.BestY) / base.UserResponseTime.Mean * 100
+	fmt.Printf("improvement:            %.1f%% (paper: 7%%)\n", gain)
+	fmt.Printf("HTTP pool (simultaneous users served): %d vs %d (+%.0f%%)\n",
+		found.HTTP, plantnet.Baseline.HTTP,
+		float64(found.HTTP-plantnet.Baseline.HTTP)/float64(plantnet.Baseline.HTTP)*100)
+	fmt.Printf("archive:                %s\n", dir)
+}

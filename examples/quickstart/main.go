@@ -1,0 +1,74 @@
+// Quickstart: define an optimization problem, run the Optimization Manager
+// with the paper's default stack (Extra Trees surrogate, Latin Hypercube
+// initial design, gp_hedge acquisition), and read the Phase III summary.
+//
+// The objective here is a cheap synthetic function so the example runs in
+// milliseconds; examples/plantnet drives the real engine model.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"e2clab/internal/core"
+	"e2clab/internal/space"
+)
+
+func main() {
+	// Phase I — define the optimization problem: variables with bounds,
+	// objective, constraints (Equation 1 of the paper).
+	problem := space.NewProblem(
+		"quickstart",
+		space.New(
+			space.Int("workers", 1, 64),
+			space.Float("batch", 0.1, 10),
+		),
+		space.Objective{Name: "latency", Mode: space.Min},
+	)
+	problem.AddConstraint("workers_le_48", func(x []float64) float64 { return x[0] - 48 })
+
+	// Phase II — pick the evaluation methods: sampler, surrogate,
+	// acquisition, parallelism.
+	dir, err := os.MkdirTemp("", "quickstart-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr, err := core.NewManager(core.Spec{
+		Problem: problem,
+		Search: core.SearchSpec{
+			Algorithm:             "skopt",
+			BaseEstimator:         "ET",
+			NInitialPoints:        10,
+			InitialPointGenerator: "lhs",
+			AcqFunc:               "gp_hedge",
+		},
+		NumSamples:    40,
+		MaxConcurrent: 4,
+		Seed:          7,
+		ArchiveDir:    dir,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The objective: a latency bowl with optimum at workers=32, batch=2.
+	objective := func(ev *core.Evaluation) (float64, error) {
+		w, b := ev.X[0], ev.X[1]
+		return 1 + math.Pow(w-32, 2)/500 + math.Pow(math.Log(b/2), 2), nil
+	}
+
+	res, err := mgr.Optimize(objective)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase III — the summary of computations for reproducibility.
+	fmt.Printf("best configuration: %s\n", problem.Space.Format(res.Best))
+	fmt.Printf("best latency:       %.4f\n", res.BestY)
+	fmt.Printf("evaluations:        %d\n", res.Summary.Evaluations)
+	fmt.Printf("archive:            %s/summary.json\n", dir)
+}

@@ -1,0 +1,161 @@
+// Package acquisition implements the acquisition functions that decide
+// which configuration the Bayesian optimization cycle evaluates next:
+// Expected Improvement (EI), Probability of Improvement (PI), Lower
+// Confidence Bound (LCB), and the gp_hedge portfolio used by the paper's
+// Listing 1 (acq_func="gp_hedge").
+//
+// All functions assume minimization and are written as scores to MAXIMIZE:
+// the optimizer picks the candidate with the highest score.
+package acquisition
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Function scores a candidate from its posterior mean and std and the best
+// (lowest) objective value observed so far.
+type Function interface {
+	Score(mean, std, best float64) float64
+	Name() string
+}
+
+// normPDF is the standard normal density.
+func normPDF(z float64) float64 {
+	return math.Exp(-0.5*z*z) / math.Sqrt(2*math.Pi)
+}
+
+// normCDF is the standard normal CDF via erf.
+func normCDF(z float64) float64 {
+	return 0.5 * (1 + math.Erf(z/math.Sqrt2))
+}
+
+// EI is Expected Improvement with exploration bonus Xi.
+type EI struct{ Xi float64 }
+
+// Name implements Function.
+func (EI) Name() string { return "EI" }
+
+// Score implements Function.
+func (a EI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if v := best - a.Xi - mean; v > 0 {
+			return v
+		}
+		return 0
+	}
+	z := (best - a.Xi - mean) / std
+	return (best-a.Xi-mean)*normCDF(z) + std*normPDF(z)
+}
+
+// PI is Probability of Improvement with exploration bonus Xi.
+type PI struct{ Xi float64 }
+
+// Name implements Function.
+func (PI) Name() string { return "PI" }
+
+// Score implements Function.
+func (a PI) Score(mean, std, best float64) float64 {
+	if std <= 0 {
+		if mean < best-a.Xi {
+			return 1
+		}
+		return 0
+	}
+	return normCDF((best - a.Xi - mean) / std)
+}
+
+// LCB is the (negated) Lower Confidence Bound: score = -(mean - Kappa*std),
+// so maximizing the score minimizes the optimistic bound.
+type LCB struct{ Kappa float64 }
+
+// Name implements Function.
+func (LCB) Name() string { return "LCB" }
+
+// Score implements Function.
+func (a LCB) Score(mean, std, _ float64) float64 {
+	k := a.Kappa
+	if k == 0 {
+		k = 1.96
+	}
+	return -(mean - k*std)
+}
+
+// Default returns skopt-compatible defaults for a named acquisition
+// function ("EI", "PI", "LCB"). gp_hedge is a portfolio, built with
+// NewHedge.
+func Default(name string) (Function, bool) {
+	switch name {
+	case "EI":
+		return EI{Xi: 0.01}, true
+	case "PI":
+		return PI{Xi: 0.01}, true
+	case "LCB":
+		return LCB{Kappa: 1.96}, true
+	}
+	return nil, false
+}
+
+// Hedge is the GP-Hedge portfolio strategy (Hoffman et al.): it keeps one
+// cumulative gain per base acquisition function and picks, at every
+// iteration, which function's candidate to trust via a softmax over gains.
+// After the chosen point is evaluated, gains are updated with the negated
+// posterior mean at each function's proposal (lower predicted objective =
+// higher gain).
+type Hedge struct {
+	Funcs []Function
+	Eta   float64
+	gains []float64
+	rng   *rand.Rand
+}
+
+// NewHedge builds the default EI/PI/LCB portfolio of skopt's
+// acq_func="gp_hedge".
+func NewHedge(r *rand.Rand) *Hedge {
+	return &Hedge{
+		Funcs: []Function{LCB{Kappa: 1.96}, EI{Xi: 0.01}, PI{Xi: 0.01}},
+		Eta:   1.0,
+		gains: make([]float64, 3),
+		rng:   r,
+	}
+}
+
+// Name identifies the portfolio.
+func (h *Hedge) Name() string { return "gp_hedge" }
+
+// Choose samples the index of the base function to follow this iteration,
+// with probability softmax(eta * gains).
+func (h *Hedge) Choose() int {
+	maxG := math.Inf(-1)
+	for _, g := range h.gains {
+		if g > maxG {
+			maxG = g
+		}
+	}
+	var z float64
+	probs := make([]float64, len(h.gains))
+	for i, g := range h.gains {
+		probs[i] = math.Exp(h.Eta * (g - maxG))
+		z += probs[i]
+	}
+	u := h.rng.Float64() * z
+	for i, p := range probs {
+		u -= p
+		if u <= 0 {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Update adds the reward for each base function's proposal: proposalMeans[i]
+// is the posterior mean at the point function i proposed.
+func (h *Hedge) Update(proposalMeans []float64) {
+	for i, m := range proposalMeans {
+		h.gains[i] -= m
+	}
+}
+
+// Gains returns a copy of the cumulative gains (for the reproducibility
+// summary).
+func (h *Hedge) Gains() []float64 { return append([]float64(nil), h.gains...) }

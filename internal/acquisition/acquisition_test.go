@@ -1,0 +1,133 @@
+package acquisition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEIBasics(t *testing.T) {
+	a := EI{}
+	// Candidate well below best with uncertainty: strong positive score.
+	if s := a.Score(1, 0.5, 2); s <= 0 {
+		t.Errorf("EI for promising point = %v, want > 0", s)
+	}
+	// Deep below best dominates slightly below best.
+	if a.Score(0.5, 0.3, 2) <= a.Score(1.9, 0.3, 2) {
+		t.Error("EI not monotone in improvement")
+	}
+	// Zero std and mean above best: no improvement possible.
+	if s := a.Score(3, 0, 2); s != 0 {
+		t.Errorf("EI with std=0, mean>best = %v, want 0", s)
+	}
+	// Zero std, mean below best: improvement is deterministic.
+	if s := a.Score(1, 0, 2); math.Abs(s-1) > 1e-12 {
+		t.Errorf("EI deterministic improvement = %v, want 1", s)
+	}
+}
+
+func TestEIUncertaintyBonus(t *testing.T) {
+	a := EI{}
+	// Same mean as best: only uncertainty can yield improvement.
+	if a.Score(2, 1.0, 2) <= a.Score(2, 0.1, 2) {
+		t.Error("EI should grow with std at equal mean")
+	}
+}
+
+func TestPIBasics(t *testing.T) {
+	a := PI{}
+	if s := a.Score(1, 0.5, 2); s <= 0.5 {
+		t.Errorf("PI for point 2 std below best = %v, want > 0.5", s)
+	}
+	if s := a.Score(3, 0.5, 2); s >= 0.5 {
+		t.Errorf("PI for point above best = %v, want < 0.5", s)
+	}
+	if s := a.Score(1, 0, 2); s != 1 {
+		t.Errorf("PI deterministic improvement = %v, want 1", s)
+	}
+	if s := a.Score(3, 0, 2); s != 0 {
+		t.Errorf("PI deterministic non-improvement = %v, want 0", s)
+	}
+}
+
+func TestLCB(t *testing.T) {
+	a := LCB{Kappa: 2}
+	// Lower mean wins at equal std.
+	if a.Score(1, 0.5, 0) <= a.Score(2, 0.5, 0) {
+		t.Error("LCB not preferring lower mean")
+	}
+	// Higher std wins at equal mean (optimism under uncertainty).
+	if a.Score(1, 1.0, 0) <= a.Score(1, 0.1, 0) {
+		t.Error("LCB not preferring higher std")
+	}
+	// Zero kappa falls back to default 1.96.
+	d := LCB{}
+	if d.Score(1, 1, 0) != -(1 - 1.96) {
+		t.Errorf("LCB default kappa wrong: %v", d.Score(1, 1, 0))
+	}
+}
+
+func TestDefaultLookup(t *testing.T) {
+	for _, n := range []string{"EI", "PI", "LCB"} {
+		if _, ok := Default(n); !ok {
+			t.Errorf("Default(%q) missing", n)
+		}
+	}
+	if _, ok := Default("gp_hedge"); ok {
+		t.Error("gp_hedge should not be a plain Function")
+	}
+}
+
+func TestHedgeChooseRespectsGains(t *testing.T) {
+	h := NewHedge(rand.New(rand.NewSource(1)))
+	// Massively favor function 1: its proposals predicted much lower
+	// objective values.
+	for i := 0; i < 50; i++ {
+		h.Update([]float64{10, -10, 10})
+	}
+	counts := make([]int, 3)
+	for i := 0; i < 300; i++ {
+		counts[h.Choose()]++
+	}
+	if counts[1] < 290 {
+		t.Errorf("hedge did not converge to best arm: %v", counts)
+	}
+}
+
+func TestHedgeUniformAtStart(t *testing.T) {
+	h := NewHedge(rand.New(rand.NewSource(2)))
+	counts := make([]int, 3)
+	for i := 0; i < 3000; i++ {
+		counts[h.Choose()]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("arm %d chosen %d/3000 times; want ~1000", i, c)
+		}
+	}
+}
+
+func TestHedgeGainsCopy(t *testing.T) {
+	h := NewHedge(rand.New(rand.NewSource(3)))
+	h.Update([]float64{1, 2, 3})
+	g := h.Gains()
+	g[0] = 999
+	if h.Gains()[0] == 999 {
+		t.Error("Gains returned internal slice")
+	}
+	if h.Gains()[2] != -3 {
+		t.Errorf("gain update wrong: %v", h.Gains())
+	}
+}
+
+func TestNormHelpers(t *testing.T) {
+	if math.Abs(normCDF(0)-0.5) > 1e-12 {
+		t.Error("normCDF(0) != 0.5")
+	}
+	if math.Abs(normCDF(1.96)-0.975) > 1e-3 {
+		t.Errorf("normCDF(1.96) = %v", normCDF(1.96))
+	}
+	if math.Abs(normPDF(0)-1/math.Sqrt(2*math.Pi)) > 1e-12 {
+		t.Error("normPDF(0) wrong")
+	}
+}

@@ -1,0 +1,415 @@
+// Package bo implements sequential model-based (Bayesian) optimization with
+// an ask/tell interface, mirroring skopt.Optimizer as configured in the
+// paper's Listing 1:
+//
+//	Optimizer(base_estimator='ET', n_initial_points=45,
+//	          initial_point_generator="lhs", acq_func="gp_hedge")
+//
+// The optimizer works for minimization (the paper's objective is minimizing
+// user response time). Maximization problems negate their metric (package
+// optimize does this automatically).
+package bo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2clab/internal/acquisition"
+	"e2clab/internal/rngutil"
+	"e2clab/internal/sample"
+	"e2clab/internal/space"
+	"e2clab/internal/surrogate"
+)
+
+// Config selects the optimizer's strategy; the zero value is completed with
+// the paper's defaults.
+type Config struct {
+	// BaseEstimator is the surrogate family: "ET", "RF", "GBRT", "GP",
+	// "TREE", "POLY", "LSSVM". Default "ET".
+	BaseEstimator string
+	// NInitialPoints is the size of the space-filling design evaluated
+	// before the surrogate takes over. Default 10.
+	NInitialPoints int
+	// InitialPointGenerator: "lhs", "sobol", "halton", "random", "grid".
+	// Default "lhs".
+	InitialPointGenerator string
+	// AcqFunc: "gp_hedge" (default), "EI", "PI", "LCB".
+	AcqFunc string
+	// NCandidates is the size of the random candidate pool scanned to
+	// maximize the acquisition function. Default 1000.
+	NCandidates int
+	// AcqOptimizer selects how the acquisition is maximized: "sampling"
+	// (candidate pool only, default) or "sampling+local" (hill-climb the
+	// pool winner through value-space neighbors — one thread-pool step at a
+	// time on integer spaces). Mirrors skopt's acq_optimizer option.
+	AcqOptimizer string
+	// Seed makes the whole optimization deterministic.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.BaseEstimator == "" {
+		c.BaseEstimator = "ET"
+	}
+	if c.NInitialPoints <= 0 {
+		c.NInitialPoints = 10
+	}
+	if c.InitialPointGenerator == "" {
+		c.InitialPointGenerator = "lhs"
+	}
+	if c.AcqFunc == "" {
+		c.AcqFunc = "gp_hedge"
+	}
+	if c.NCandidates <= 0 {
+		c.NCandidates = 1000
+	}
+	if c.AcqOptimizer == "" {
+		c.AcqOptimizer = "sampling"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Optimizer is an ask/tell sequential model-based optimizer.
+type Optimizer struct {
+	space   *space.Space
+	cfg     Config
+	rng     *rand.Rand
+	factory surrogate.Factory
+	sampler sample.Sampler
+	acq     acquisition.Function
+	hedge   *acquisition.Hedge
+
+	initQueue [][]float64 // unit-space initial design, consumed by Ask
+	X         [][]float64 // unit-space evaluated points
+	y         []float64
+	pending   [][]float64 // asked but not yet told (parallel workers)
+	seen      map[string]bool
+}
+
+// New builds an optimizer over s.
+func New(s *space.Space, cfg Config) (*Optimizer, error) {
+	cfg.fillDefaults()
+	factory, err := surrogate.ByName(cfg.BaseEstimator)
+	if err != nil {
+		return nil, err
+	}
+	smp, err := sample.ByName(cfg.InitialPointGenerator)
+	if err != nil {
+		return nil, err
+	}
+	o := &Optimizer{
+		space:   s,
+		cfg:     cfg,
+		rng:     rngutil.New(cfg.Seed),
+		factory: factory,
+		sampler: smp,
+		seen:    make(map[string]bool),
+	}
+	switch cfg.AcqFunc {
+	case "gp_hedge":
+		o.hedge = acquisition.NewHedge(rngutil.New(cfg.Seed + 1))
+	default:
+		fn, ok := acquisition.Default(cfg.AcqFunc)
+		if !ok {
+			return nil, fmt.Errorf("bo: unknown acquisition function %q", cfg.AcqFunc)
+		}
+		o.acq = fn
+	}
+	o.initQueue = smp.Sample(o.rng, cfg.NInitialPoints, s.Len())
+	return o, nil
+}
+
+// Config returns the effective configuration (defaults filled), recorded by
+// the reproducibility summary.
+func (o *Optimizer) Config() Config { return o.cfg }
+
+// N returns the number of evaluations told so far.
+func (o *Optimizer) N() int { return len(o.y) }
+
+// Ask proposes the next configuration to evaluate, in value space. Repeated
+// Asks without Tells are allowed (parallel evaluation); pending points are
+// assumed to return the best value seen so far ("constant liar"), which
+// pushes subsequent proposals away from in-flight configurations.
+func (o *Optimizer) Ask() []float64 {
+	// Space-filling phase.
+	for len(o.initQueue) > 0 {
+		u := o.initQueue[0]
+		o.initQueue = o.initQueue[1:]
+		x := o.space.FromUnit(u)
+		if !o.seen[o.key(x)] {
+			o.track(x)
+			return x
+		}
+	}
+	if len(o.y)+len(o.pending) < 2 {
+		return o.randomPoint()
+	}
+	x := o.modelAsk()
+	o.track(x)
+	return x
+}
+
+// track records x as pending and marks it seen.
+func (o *Optimizer) track(x []float64) {
+	o.pending = append(o.pending, o.space.ToUnit(x))
+	o.seen[o.key(x)] = true
+}
+
+func (o *Optimizer) randomPoint() []float64 {
+	for i := 0; i < 256; i++ {
+		u := make([]float64, o.space.Len())
+		for j := range u {
+			u[j] = o.rng.Float64()
+		}
+		x := o.space.FromUnit(u)
+		if !o.seen[o.key(x)] {
+			o.track(x)
+			return x
+		}
+	}
+	// Space exhausted (tiny discrete spaces): re-propose the best point.
+	x, _ := o.Best()
+	if x == nil {
+		x = o.space.FromUnit(make([]float64, o.space.Len()))
+	}
+	o.track(x)
+	return x
+}
+
+// modelAsk fits the surrogate and maximizes the acquisition over a random
+// candidate pool.
+func (o *Optimizer) modelAsk() []float64 {
+	// Training set: evaluated points plus constant-liar pending points.
+	n := len(o.X) + len(o.pending)
+	X := make([][]float64, 0, n)
+	y := make([]float64, 0, n)
+	X = append(X, o.X...)
+	y = append(y, o.y...)
+	if len(o.pending) > 0 {
+		liar := o.bestY()
+		for _, u := range o.pending {
+			X = append(X, u)
+			y = append(y, liar)
+		}
+	}
+	model := o.factory(rngutil.New(o.rng.Int63()))
+	if err := model.Fit(X, y); err != nil {
+		return o.randomUntracked()
+	}
+	best := o.bestY()
+
+	cands := o.candidates()
+	if o.hedge != nil {
+		// Find each base function's favorite candidate, pick via hedge.
+		picks := make([][]float64, len(o.hedge.Funcs))
+		means := make([]float64, len(o.hedge.Funcs))
+		scores := make([]float64, len(o.hedge.Funcs))
+		for i := range scores {
+			scores[i] = math.Inf(-1)
+		}
+		for _, u := range cands {
+			m, s := model.PredictWithStd(u)
+			for i, fn := range o.hedge.Funcs {
+				if sc := fn.Score(m, s, best); sc > scores[i] {
+					scores[i], picks[i], means[i] = sc, u, m
+				}
+			}
+		}
+		choice := o.hedge.Choose()
+		o.hedge.Update(means)
+		if picks[choice] == nil {
+			return o.randomUntracked()
+		}
+		u := o.localRefine(picks[choice], model, o.hedge.Funcs[choice], best)
+		return o.space.FromUnit(u)
+	}
+	var bestU []float64
+	bestScore := math.Inf(-1)
+	for _, u := range cands {
+		m, s := model.PredictWithStd(u)
+		if sc := o.acq.Score(m, s, best); sc > bestScore {
+			bestScore, bestU = sc, u
+		}
+	}
+	if bestU == nil {
+		return o.randomUntracked()
+	}
+	bestU = o.localRefine(bestU, model, o.acq, best)
+	return o.space.FromUnit(bestU)
+}
+
+// localRefine hill-climbs the acquisition score from u through value-space
+// neighbors (when AcqOptimizer is "sampling+local"): integer dimensions
+// move ±1, floats ±2% of their range, categoricals try every choice.
+// Already-proposed points are skipped.
+func (o *Optimizer) localRefine(u []float64, model surrogate.Model, acq acquisition.Function, best float64) []float64 {
+	if o.cfg.AcqOptimizer != "sampling+local" {
+		return u
+	}
+	score := func(uu []float64) float64 {
+		m, s := model.PredictWithStd(uu)
+		return acq.Score(m, s, best)
+	}
+	cur := u
+	curScore := score(cur)
+	for step := 0; step < 32; step++ {
+		improved := false
+		x := o.space.FromUnit(cur)
+		for j := 0; j < o.space.Len(); j++ {
+			d := o.space.Dim(j)
+			var moves []float64
+			switch d.Kind {
+			case space.IntKind:
+				moves = []float64{x[j] - 1, x[j] + 1}
+			case space.CategoricalKind:
+				for c := 0; c < len(d.Categories); c++ {
+					if float64(c) != x[j] {
+						moves = append(moves, float64(c))
+					}
+				}
+			default:
+				st := (d.High - d.Low) * 0.02
+				moves = []float64{x[j] - st, x[j] + st}
+			}
+			for _, mv := range moves {
+				if !d.Contains(d.Clip(mv)) {
+					continue
+				}
+				x2 := append([]float64(nil), x...)
+				x2[j] = d.Clip(mv)
+				if o.seen[o.key(x2)] {
+					continue
+				}
+				u2 := o.space.ToUnit(x2)
+				if sc := score(u2); sc > curScore {
+					cur, curScore = u2, sc
+					x = x2
+					improved = true
+				}
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// candidates draws the random pool, excluding already-proposed points.
+func (o *Optimizer) candidates() [][]float64 {
+	out := make([][]float64, 0, o.cfg.NCandidates)
+	for i := 0; i < o.cfg.NCandidates*4 && len(out) < o.cfg.NCandidates; i++ {
+		u := make([]float64, o.space.Len())
+		for j := range u {
+			u[j] = o.rng.Float64()
+		}
+		x := o.space.FromUnit(u)
+		if o.seen[o.key(x)] {
+			continue
+		}
+		out = append(out, o.space.ToUnit(x))
+	}
+	return out
+}
+
+func (o *Optimizer) randomUntracked() []float64 {
+	u := make([]float64, o.space.Len())
+	for j := range u {
+		u[j] = o.rng.Float64()
+	}
+	return o.space.FromUnit(u)
+}
+
+// Tell reports the objective value for a previously Asked (or external)
+// point.
+func (o *Optimizer) Tell(x []float64, yv float64) {
+	u := o.space.ToUnit(x)
+	// Drop the matching pending entry, if any.
+	for i, p := range o.pending {
+		if equal(p, u) {
+			o.pending = append(o.pending[:i], o.pending[i+1:]...)
+			break
+		}
+	}
+	o.seen[o.key(x)] = true
+	o.X = append(o.X, u)
+	o.y = append(o.y, yv)
+}
+
+// Best returns the best (lowest-objective) evaluated point in value space,
+// or (nil, +Inf) before any Tell.
+func (o *Optimizer) Best() ([]float64, float64) {
+	bi, bv := -1, math.Inf(1)
+	for i, v := range o.y {
+		if v < bv {
+			bi, bv = i, v
+		}
+	}
+	if bi < 0 {
+		return nil, bv
+	}
+	return o.space.FromUnit(o.X[bi]), bv
+}
+
+func (o *Optimizer) bestY() float64 {
+	_, v := o.Best()
+	if math.IsInf(v, 1) {
+		return 0
+	}
+	return v
+}
+
+// SnapshotModel refits the surrogate on all evidence told so far and
+// serializes it — the "intermediate models throughout training" that the
+// paper's finalize() archives.
+func (o *Optimizer) SnapshotModel() ([]byte, error) {
+	if len(o.y) < 2 {
+		return nil, fmt.Errorf("bo: need >= 2 observations to snapshot a model, have %d", len(o.y))
+	}
+	model := o.factory(rngutil.New(o.cfg.Seed + 999))
+	if err := model.Fit(o.X, o.y); err != nil {
+		return nil, err
+	}
+	return surrogate.Marshal(model)
+}
+
+// BestSeries returns the running best value after each Tell (the
+// convergence curve reported in optimization summaries).
+func (o *Optimizer) BestSeries() []float64 {
+	out := make([]float64, len(o.y))
+	best := math.Inf(1)
+	for i, v := range o.y {
+		if v < best {
+			best = v
+		}
+		out[i] = best
+	}
+	return out
+}
+
+// Evaluations returns copies of all (x, y) pairs told so far, in value
+// space, for the Phase III archive.
+func (o *Optimizer) Evaluations() ([][]float64, []float64) {
+	X := make([][]float64, len(o.X))
+	for i, u := range o.X {
+		X[i] = o.space.FromUnit(u)
+	}
+	return X, append([]float64(nil), o.y...)
+}
+
+func (o *Optimizer) key(x []float64) string { return o.space.Format(x) }
+
+func equal(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

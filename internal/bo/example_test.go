@@ -1,0 +1,37 @@
+package bo_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/bo"
+	"e2clab/internal/space"
+)
+
+// The ask/tell loop of the paper's Listing 1: an Extra-Trees surrogate with
+// LHS initial design and the gp_hedge acquisition portfolio, minimizing a
+// response-time-like surface over the Pl@ntNet space.
+func Example() {
+	p := space.PlantNetProblem()
+	opt, err := bo.New(p.Space, bo.Config{
+		BaseEstimator:         "ET",
+		NInitialPoints:        10,
+		InitialPointGenerator: "lhs",
+		AcqFunc:               "gp_hedge",
+		Seed:                  1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	surface := func(x []float64) float64 {
+		d := x[3] - 6 // extract optimum at 6
+		return 2.4 + d*d/40
+	}
+	for i := 0; i < 40; i++ {
+		x := opt.Ask()
+		opt.Tell(x, surface(x))
+	}
+	x, y := opt.Best()
+	fmt.Printf("best extract=%d resp=%.2f after %d evaluations\n", int(x[3]), y, opt.N())
+	// Output:
+	// best extract=6 resp=2.40 after 40 evaluations
+}

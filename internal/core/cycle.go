@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"e2clab/internal/testbed"
+	"e2clab/internal/workflow"
+)
+
+// Cycle assembles the complete E2Clab experimental cycle for this
+// experiment as a workflow DAG:
+//
+//	validate -> reserve (deploy layers) -> deploy services -> run workload
+//	        -> backup -> release
+//
+// runWorkload receives the live deployment; backup may be nil. The release
+// task always has the deployment available and runs even when run/backup
+// fail only if their dependencies succeeded — on upstream failure the
+// reservation is released by the returned cleanup function, which callers
+// should defer.
+func (e *Experiment) Cycle(reg *Registry, runWorkload func(d *testbed.Deployment) error, backup func() error) (*workflow.Workflow, func(), error) {
+	if runWorkload == nil {
+		return nil, nil, fmt.Errorf("core: Cycle needs a workload function")
+	}
+	w := workflow.New()
+	var dep *testbed.Deployment
+	cleanup := func() {
+		if dep != nil {
+			dep.ReleaseAll()
+		}
+	}
+	w.MustAdd(workflow.Task{Name: "validate", Run: e.Validate})
+	w.MustAdd(workflow.Task{Name: "reserve", DependsOn: []string{"validate"}, Run: func() error {
+		d, err := e.Testbed.Deploy(e.Layers)
+		if err != nil {
+			return err
+		}
+		dep = d
+		return nil
+	}})
+	w.MustAdd(workflow.Task{Name: "deploy-services", DependsOn: []string{"reserve"}, Run: func() error {
+		if reg == nil {
+			return nil // no user-defined services registered
+		}
+		return reg.DeployServices(e, dep)
+	}})
+	w.MustAdd(workflow.Task{Name: "run-workload", DependsOn: []string{"deploy-services"}, Run: func() error {
+		return runWorkload(dep)
+	}})
+	if backup != nil {
+		w.MustAdd(workflow.Task{Name: "backup", DependsOn: []string{"run-workload"}, Run: backup})
+		w.MustAdd(workflow.Task{Name: "release", DependsOn: []string{"backup"}, Run: func() error {
+			cleanup()
+			return nil
+		}})
+	} else {
+		w.MustAdd(workflow.Task{Name: "release", DependsOn: []string{"run-workload"}, Run: func() error {
+			cleanup()
+			return nil
+		}})
+	}
+	return w, cleanup, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+// Multi-objective helpers for the Figure 4 right-hand problem class
+// ("minimizing communication costs and end-to-end latency" as a single
+// multi-objective optimization problem). The Manager optimizes a scalar
+// metric; multi-objective problems are handled by scalarizing with
+// WeightedSum and/or by extracting the Pareto front from the evaluated
+// points afterwards.
+
+// WeightedSum returns a scalarized objective: sum_i w_i * f_i(x). All
+// component objectives are assumed minimized.
+func WeightedSum(weights []float64, objectives ...func(x []float64) float64) func(x []float64) float64 {
+	return func(x []float64) float64 {
+		var s float64
+		for i, f := range objectives {
+			w := 1.0
+			if i < len(weights) {
+				w = weights[i]
+			}
+			s += w * f(x)
+		}
+		return s
+	}
+}
+
+// Dominates reports whether objective vector a Pareto-dominates b
+// (minimization): a is no worse in every component and strictly better in
+// at least one.
+func Dominates(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// ParetoFront returns the indices of the non-dominated points among the
+// given objective vectors (minimization), in input order.
+func ParetoFront(points [][]float64) []int {
+	var front []int
+	for i, a := range points {
+		dominated := false
+		for j, b := range points {
+			if i != j && Dominates(b, a) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, i)
+		}
+	}
+	return front
+}

@@ -1,0 +1,86 @@
+package export
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Table III", "Thread pool", "baseline", "preliminary")
+	tb.AddRow("HTTP", 40, 54)
+	tb.AddRow("User response time", 2.657, 2.484)
+	out := tb.String()
+	if !strings.Contains(out, "Table III") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "2.657") || !strings.Contains(out, "2.484") {
+		t.Errorf("values missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title + header + separator + 2 rows.
+	if len(lines) != 5 {
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns aligned: header and separator same length.
+	if len(lines[1]) != len(lines[2]) {
+		t.Error("separator not aligned with header")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "y")
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := tb.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 || rows[0][0] != "a" || rows[1][0] != "1" || rows[2][1] != "y" {
+		t.Errorf("csv = %v", rows)
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "series.csv")
+	err := WriteSeriesCSV(path,
+		Series{Name: "baseline", X: []float64{80, 120}, Y: []float64{2.657, 3.86}},
+		Series{Name: "preliminary", X: []float64{80}, Y: []float64{2.484}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (header + 3)", len(rows))
+	}
+	if rows[1][0] != "baseline" || rows[3][0] != "preliminary" {
+		t.Errorf("series order wrong: %v", rows)
+	}
+}
+
+func TestSeriesLengthMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := WriteSeriesCSV(path, Series{Name: "x", X: []float64{1}, Y: nil}); err == nil {
+		t.Error("ragged series accepted")
+	}
+}

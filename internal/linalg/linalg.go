@@ -1,0 +1,271 @@
+// Package linalg provides the small dense linear-algebra kernel needed by
+// the surrogate models: matrix products, Cholesky factorization (Gaussian
+// process / Kriging), and Householder QR least squares (polynomial
+// regression). It is deliberately minimal — row-major float64, no views —
+// since surrogate training matrices here are at most a few hundred rows.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols
+}
+
+// NewMatrix allocates a zero Rows x Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) *Matrix {
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic("linalg: ragged rows")
+		}
+		copy(m.Data[i*m.Cols:(i+1)*m.Cols], r)
+	}
+	return m
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i (not a copy).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose as a new matrix.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m * b.
+func (m *Matrix) Mul(b *Matrix) *Matrix {
+	if m.Cols != b.Rows {
+		panic(fmt.Sprintf("linalg: mul shape mismatch %dx%d * %dx%d", m.Rows, m.Cols, b.Rows, b.Cols))
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		mi := m.Row(i)
+		oi := out.Row(i)
+		for k := 0; k < m.Cols; k++ {
+			a := mi[k]
+			if a == 0 {
+				continue
+			}
+			bk := b.Row(k)
+			for j := range oi {
+				oi[j] += a * bk[j]
+			}
+		}
+	}
+	return out
+}
+
+// MulVec returns m * x.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if m.Cols != len(x) {
+		panic("linalg: mulvec shape mismatch")
+	}
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = Dot(m.Row(i), x)
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: dot length mismatch")
+	}
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L Lᵀ.
+type Cholesky struct {
+	L *Matrix
+}
+
+// NewCholesky factors the SPD matrix a. It returns an error if a is not
+// positive definite (within floating-point tolerance). a is not modified.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: cholesky of non-square %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for j := 0; j < n; j++ {
+		d := a.At(j, j)
+		for k := 0; k < j; k++ {
+			d -= l.At(j, k) * l.At(j, k)
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
+		}
+		ljj := math.Sqrt(d)
+		l.Set(j, j, ljj)
+		for i := j + 1; i < n; i++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			l.Set(i, j, s/ljj)
+		}
+	}
+	return &Cholesky{L: l}, nil
+}
+
+// Solve solves A x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	n := c.L.Rows
+	if len(b) != n {
+		panic("linalg: cholesky solve length mismatch")
+	}
+	// Forward substitution: L y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	// Back substitution: Lᵀ x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.L.At(k, i) * x[k]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}
+
+// SolveVecL solves L y = b (forward substitution only), used by the GP for
+// predictive variance.
+func (c *Cholesky) SolveVecL(b []float64) []float64 {
+	n := c.L.Rows
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= c.L.At(i, k) * y[k]
+		}
+		y[i] = s / c.L.At(i, i)
+	}
+	return y
+}
+
+// LogDet returns log(det(A)) = 2 * sum(log(L_ii)).
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.L.Rows; i++ {
+		s += math.Log(c.L.At(i, i))
+	}
+	return 2 * s
+}
+
+// LeastSquares solves min ||A x - b||₂ via Householder QR with column
+// protection against rank deficiency (tiny diagonal entries of R are
+// regularized). A has shape m x n with m >= n.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	m, n := a.Rows, a.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: lstsq rhs length %d != rows %d", len(b), m)
+	}
+	if m < n {
+		return nil, fmt.Errorf("linalg: lstsq underdetermined %dx%d", m, n)
+	}
+	r := a.Clone()
+	qtb := append([]float64(nil), b...)
+	// Householder reflections applied in place to R and qtb.
+	for k := 0; k < n; k++ {
+		// Compute the norm of column k below the diagonal.
+		var norm float64
+		for i := k; i < m; i++ {
+			norm = math.Hypot(norm, r.At(i, k))
+		}
+		if norm == 0 {
+			continue
+		}
+		// Give norm the sign of the diagonal element so the reflector pivot
+		// 1 + a_kk/norm stays >= 1 (numerically stable; the stored R
+		// diagonal is then -norm).
+		if r.At(k, k) < 0 {
+			norm = -norm
+		}
+		for i := k; i < m; i++ {
+			r.Set(i, k, r.At(i, k)/norm)
+		}
+		r.Set(k, k, r.At(k, k)+1)
+		// Apply reflector to remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			s = -s / r.At(k, k)
+			for i := k; i < m; i++ {
+				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
+			}
+		}
+		// Apply reflector to b.
+		var s float64
+		for i := k; i < m; i++ {
+			s += r.At(i, k) * qtb[i]
+		}
+		s = -s / r.At(k, k)
+		for i := k; i < m; i++ {
+			qtb[i] += s * r.At(i, k)
+		}
+		r.Set(k, k, norm) // store R's diagonal (negated reflector norm)
+	}
+	// Back substitution on the upper triangle; diag(R) is at r[k][k] but
+	// negated by construction above — recover it.
+	x := make([]float64, n)
+	const tiny = 1e-12
+	for i := n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < n; j++ {
+			s -= r.At(i, j) * x[j]
+		}
+		d := -r.At(i, i)
+		if math.Abs(d) < tiny {
+			x[i] = 0 // rank-deficient column: minimum-norm-ish fallback
+			continue
+		}
+		x[i] = s / d
+	}
+	return x, nil
+}

@@ -1,0 +1,35 @@
+package metaheur_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/metaheur"
+	"e2clab/internal/space"
+)
+
+// Differential evolution on the Pl@ntNet integer space: the Phase II choice
+// for short-time running applications.
+func ExampleDE() {
+	p := space.PlantNetProblem()
+	surface := func(x []float64) float64 {
+		d := x[3] - 6
+		return 2.4 + d*d/40
+	}
+	res := metaheur.DE{Seed: 2}.Minimize(p.Space, surface, 800)
+	fmt.Printf("extract=%d resp=%.2f after %d evaluations\n", int(res.X[3]), res.Y, res.Evals)
+	// Output:
+	// extract=6 resp=2.40 after 800 evaluations
+}
+
+// NSGA-II on a two-objective trade-off returns the whole Pareto front in
+// one run.
+func ExampleNSGA2() {
+	s := space.New(space.Int("placement", 0, 4))
+	fn := func(x []float64) []float64 {
+		return []float64{x[0], 4 - x[0]} // every placement is Pareto-optimal
+	}
+	front := metaheur.NSGA2{Seed: 3, PopSize: 20}.MinimizeMulti(s, fn, 25)
+	fmt.Println("front size:", len(front))
+	// Output:
+	// front size: 5
+}

@@ -1,0 +1,227 @@
+package metaheur
+
+import (
+	"math"
+	"sort"
+
+	"e2clab/internal/rngutil"
+	"e2clab/internal/space"
+)
+
+// MultiResult is one non-dominated solution of a multi-objective run.
+type MultiResult struct {
+	// X is the solution in value space.
+	X []float64
+	// Y is its objective vector (all minimized).
+	Y []float64
+}
+
+// NSGA2 is the NSGA-II multi-objective evolutionary algorithm: fast
+// non-dominated sorting, crowding-distance selection, BLX crossover and
+// Gaussian mutation. It addresses the paper's Figure 4 right-hand problem
+// class — single multi-objective problems like "minimize communication
+// costs and end-to-end latency" — directly, without scalarization.
+type NSGA2 struct {
+	PopSize   int     // population size (default 40)
+	Alpha     float64 // BLX-alpha blend (default 0.3)
+	MutProb   float64 // per-gene mutation probability (default 1/d)
+	MutSigma  float64 // mutation std in unit space (default 0.1)
+	CrossProb float64 // crossover probability (default 0.9)
+	Seed      int64
+}
+
+// Name identifies the algorithm.
+func (NSGA2) Name() string { return "nsga2" }
+
+type nsgaInd struct {
+	u     []float64
+	x     []float64
+	y     []float64
+	rank  int
+	crowd float64
+}
+
+// MinimizeMulti evolves the population for the given number of generations
+// and returns the final non-dominated front, deduplicated by decoded
+// configuration.
+func (n NSGA2) MinimizeMulti(s *space.Space, fn func(x []float64) []float64, generations int) []MultiResult {
+	d := s.Len()
+	pop := n.PopSize
+	if pop <= 0 {
+		pop = 40
+	}
+	alpha := n.Alpha
+	if alpha <= 0 {
+		alpha = 0.3
+	}
+	mutProb := n.MutProb
+	if mutProb <= 0 {
+		mutProb = 1 / float64(d)
+	}
+	sigma := n.MutSigma
+	if sigma <= 0 {
+		sigma = 0.1
+	}
+	crossProb := n.CrossProb
+	if crossProb <= 0 {
+		crossProb = 0.9
+	}
+	if generations < 1 {
+		generations = 1
+	}
+	r := rngutil.New(n.Seed + 1)
+
+	eval := func(u []float64) *nsgaInd {
+		x := s.FromUnit(u)
+		return &nsgaInd{u: u, x: x, y: fn(x)}
+	}
+	cur := make([]*nsgaInd, pop)
+	for i := range cur {
+		cur[i] = eval(randomUnit(r, d))
+	}
+	rankAndCrowd(cur)
+
+	for g := 0; g < generations; g++ {
+		// Offspring via binary tournament + BLX + mutation.
+		off := make([]*nsgaInd, 0, pop)
+		pick := func() *nsgaInd {
+			a, b := cur[r.Intn(pop)], cur[r.Intn(pop)]
+			if better(a, b) {
+				return a
+			}
+			return b
+		}
+		for len(off) < pop {
+			p1, p2 := pick(), pick()
+			child := make([]float64, d)
+			for j := 0; j < d; j++ {
+				if r.Float64() < crossProb {
+					lo, hi := p1.u[j], p2.u[j]
+					if lo > hi {
+						lo, hi = hi, lo
+					}
+					span := hi - lo
+					child[j] = lo - alpha*span + r.Float64()*(span+2*alpha*span)
+				} else {
+					child[j] = p1.u[j]
+				}
+				if r.Float64() < mutProb {
+					child[j] += r.NormFloat64() * sigma
+				}
+			}
+			clampUnit(child)
+			off = append(off, eval(child))
+		}
+		// Environmental selection over parents + offspring.
+		union := append(append([]*nsgaInd(nil), cur...), off...)
+		rankAndCrowd(union)
+		sort.SliceStable(union, func(i, j int) bool { return better(union[i], union[j]) })
+		cur = union[:pop]
+		rankAndCrowd(cur)
+	}
+
+	// Extract the rank-0 front, deduplicated by decoded point.
+	seen := map[string]bool{}
+	var out []MultiResult
+	for _, ind := range cur {
+		if ind.rank != 0 {
+			continue
+		}
+		key := s.Format(ind.x)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, MultiResult{
+			X: append([]float64(nil), ind.x...),
+			Y: append([]float64(nil), ind.y...),
+		})
+	}
+	return out
+}
+
+// better orders individuals by (rank asc, crowding desc) — NSGA-II's
+// crowded-comparison operator.
+func better(a, b *nsgaInd) bool {
+	if a.rank != b.rank {
+		return a.rank < b.rank
+	}
+	return a.crowd > b.crowd
+}
+
+// dominatesVec reports Pareto dominance for minimization.
+func dominatesVec(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// rankAndCrowd assigns non-domination ranks (fast non-dominated sort) and
+// crowding distances in place.
+func rankAndCrowd(pop []*nsgaInd) {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominated := make([][]int, n)
+	var fronts [][]int
+	var first []int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if dominatesVec(pop[i].y, pop[j].y) {
+				dominated[i] = append(dominated[i], j)
+			} else if dominatesVec(pop[j].y, pop[i].y) {
+				domCount[i]++
+			}
+		}
+		if domCount[i] == 0 {
+			pop[i].rank = 0
+			first = append(first, i)
+		}
+	}
+	fronts = append(fronts, first)
+	for f := 0; len(fronts[f]) > 0; f++ {
+		var next []int
+		for _, i := range fronts[f] {
+			for _, j := range dominated[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					pop[j].rank = f + 1
+					next = append(next, j)
+				}
+			}
+		}
+		fronts = append(fronts, next)
+	}
+	// Crowding distance per front, per objective.
+	for _, front := range fronts {
+		if len(front) == 0 {
+			continue
+		}
+		for _, i := range front {
+			pop[i].crowd = 0
+		}
+		m := len(pop[front[0]].y)
+		for obj := 0; obj < m; obj++ {
+			idx := append([]int(nil), front...)
+			sort.Slice(idx, func(a, b int) bool { return pop[idx[a]].y[obj] < pop[idx[b]].y[obj] })
+			lo, hi := pop[idx[0]].y[obj], pop[idx[len(idx)-1]].y[obj]
+			pop[idx[0]].crowd = math.Inf(1)
+			pop[idx[len(idx)-1]].crowd = math.Inf(1)
+			if hi <= lo {
+				continue
+			}
+			for k := 1; k < len(idx)-1; k++ {
+				pop[idx[k]].crowd += (pop[idx[k+1]].y[obj] - pop[idx[k-1]].y[obj]) / (hi - lo)
+			}
+		}
+	}
+}

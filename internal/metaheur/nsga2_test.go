@@ -1,0 +1,109 @@
+package metaheur
+
+import (
+	"math"
+	"testing"
+
+	"e2clab/internal/space"
+)
+
+// schaffer is the classic two-objective benchmark: f1 = x², f2 = (x-2)².
+// Its Pareto set is x in [0, 2].
+func schaffer(x []float64) []float64 {
+	return []float64{x[0] * x[0], (x[0] - 2) * (x[0] - 2)}
+}
+
+func TestNSGA2SchafferFront(t *testing.T) {
+	s := space.New(space.Float("x", -5, 5))
+	front := NSGA2{Seed: 3}.MinimizeMulti(s, schaffer, 60)
+	if len(front) < 10 {
+		t.Fatalf("front has %d points, want a spread", len(front))
+	}
+	for _, p := range front {
+		if p.X[0] < -0.15 || p.X[0] > 2.15 {
+			t.Errorf("front point x=%.3f outside Pareto set [0,2]", p.X[0])
+		}
+	}
+	// The front should cover both extremes reasonably.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, p := range front {
+		lo = math.Min(lo, p.X[0])
+		hi = math.Max(hi, p.X[0])
+	}
+	if lo > 0.5 || hi < 1.5 {
+		t.Errorf("front spans [%.2f, %.2f], want ~[0, 2]", lo, hi)
+	}
+}
+
+func TestNSGA2FrontIsNonDominated(t *testing.T) {
+	s := space.New(space.Float("a", 0, 1), space.Float("b", 0, 1))
+	fn := func(x []float64) []float64 {
+		return []float64{x[0], 1 - x[0] + 0.3*x[1]}
+	}
+	front := NSGA2{Seed: 7}.MinimizeMulti(s, fn, 40)
+	for i, a := range front {
+		for j, b := range front {
+			if i != j && dominatesVec(a.Y, b.Y) {
+				t.Fatalf("front point %d dominates %d: %v vs %v", i, j, a.Y, b.Y)
+			}
+		}
+	}
+}
+
+func TestNSGA2Deterministic(t *testing.T) {
+	s := space.New(space.Float("x", -5, 5))
+	a := NSGA2{Seed: 11}.MinimizeMulti(s, schaffer, 20)
+	b := NSGA2{Seed: 11}.MinimizeMulti(s, schaffer, 20)
+	if len(a) != len(b) {
+		t.Fatalf("same seed different front sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].X[0] != b[i].X[0] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestNSGA2IntegerSpace(t *testing.T) {
+	// Placement-style problem over a categorical/int space: trade off two
+	// costs with opposite monotonicity.
+	s := space.New(space.Int("place", 0, 10))
+	fn := func(x []float64) []float64 {
+		return []float64{x[0], 10 - x[0]}
+	}
+	front := NSGA2{Seed: 5, PopSize: 30}.MinimizeMulti(s, fn, 30)
+	// Every integer value is Pareto-optimal here; the front should find
+	// several distinct ones and stay integer.
+	if len(front) < 5 {
+		t.Errorf("front found %d of 11 optimal placements", len(front))
+	}
+	for _, p := range front {
+		if p.X[0] != math.Round(p.X[0]) {
+			t.Errorf("non-integer solution %v", p.X)
+		}
+	}
+}
+
+func TestRankAndCrowd(t *testing.T) {
+	mk := func(y ...float64) *nsgaInd { return &nsgaInd{y: y} }
+	pop := []*nsgaInd{
+		mk(1, 1), // rank 0
+		mk(2, 2), // dominated by (1,1) -> rank 1
+		mk(0, 3), // rank 0 (incomparable with (1,1))
+		mk(3, 3), // dominated by all above -> rank 2? dominated by (2,2) and (1,1)
+	}
+	rankAndCrowd(pop)
+	if pop[0].rank != 0 || pop[2].rank != 0 {
+		t.Errorf("rank-0 wrong: %d %d", pop[0].rank, pop[2].rank)
+	}
+	if pop[1].rank != 1 {
+		t.Errorf("(2,2) rank = %d, want 1", pop[1].rank)
+	}
+	if pop[3].rank != 2 {
+		t.Errorf("(3,3) rank = %d, want 2", pop[3].rank)
+	}
+	// Boundary points of a front get infinite crowding.
+	if !math.IsInf(pop[0].crowd, 1) || !math.IsInf(pop[2].crowd, 1) {
+		t.Error("front extremes should have infinite crowding")
+	}
+}

@@ -1,0 +1,90 @@
+package metaheur
+
+import (
+	"math"
+
+	"e2clab/internal/rngutil"
+	"e2clab/internal/space"
+)
+
+// Tabu is tabu search, the remaining technique of the paper's
+// "Intelligent optimisation techniques" reference [13]: local search with a
+// short-term memory of recently visited configurations that may not be
+// revisited, plus the standard aspiration criterion (a tabu move is allowed
+// if it improves on the global best).
+type Tabu struct {
+	// Tenure is how many recent configurations stay tabu (default 25).
+	Tenure int
+	// Neighbors is the candidate moves evaluated per iteration (default 15).
+	Neighbors int
+	// Sigma is the move size in unit space (default 0.12).
+	Sigma float64
+	Seed  int64
+}
+
+// Name implements Algorithm.
+func (Tabu) Name() string { return "tabu" }
+
+// Minimize implements Algorithm.
+func (tb Tabu) Minimize(s *space.Space, fn func([]float64) float64, budget int) Result {
+	d := s.Len()
+	tenure := tb.Tenure
+	if tenure <= 0 {
+		tenure = 25
+	}
+	neighbors := tb.Neighbors
+	if neighbors <= 0 {
+		neighbors = 15
+	}
+	sigma := tb.Sigma
+	if sigma <= 0 {
+		sigma = 0.12
+	}
+	r := rngutil.New(tb.Seed + 1)
+	t := newTracker(s, fn, budget)
+
+	cur := randomUnit(r, d)
+	t.eval(cur)
+	tabuList := make([]string, 0, tenure)
+	tabuSet := map[string]bool{s.Format(s.FromUnit(cur)): true}
+	pushTabu := func(key string) {
+		tabuList = append(tabuList, key)
+		tabuSet[key] = true
+		if len(tabuList) > tenure {
+			old := tabuList[0]
+			tabuList = tabuList[1:]
+			delete(tabuSet, old)
+		}
+	}
+
+	for !t.done() {
+		bestU := []float64(nil)
+		bestY := math.Inf(1)
+		bestKey := ""
+		for k := 0; k < neighbors && !t.done(); k++ {
+			cand := make([]float64, d)
+			for j := range cand {
+				cand[j] = cur[j] + r.NormFloat64()*sigma
+			}
+			clampUnit(cand)
+			key := s.Format(s.FromUnit(cand))
+			y := t.eval(cand)
+			// Tabu unless aspiration (beats the global best).
+			if tabuSet[key] && y >= t.bestY {
+				continue
+			}
+			if y < bestY {
+				bestU, bestY, bestKey = cand, y, key
+			}
+		}
+		if bestU == nil {
+			// Entire neighborhood tabu: diversify with a random restart.
+			cur = randomUnit(r, d)
+			t.eval(cur)
+			continue
+		}
+		cur = bestU
+		pushTabu(bestKey)
+	}
+	return t.result()
+}

@@ -1,0 +1,22 @@
+package monitor_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/monitor"
+)
+
+// Checking the paper's 4-second user-tolerance SLO against a response-time
+// series.
+func ExampleRegistry_Check() {
+	r := monitor.NewRegistry()
+	resp := r.Series("user_resp_time")
+	for i, v := range []float64{3.8, 3.9, 4.2, 4.5, 4.3, 3.9} {
+		_ = resp.Add(float64(i*10), v)
+	}
+	for _, v := range r.Check(monitor.SLO{Series: "user_resp_time", Max: 4, Sustained: 10}) {
+		fmt.Printf("SLO violated from t=%.0fs to t=%.0fs (worst %.1fs)\n", v.From, v.To, v.WorstValue)
+	}
+	// Output:
+	// SLO violated from t=20s to t=40s (worst 4.5s)
+}

@@ -1,0 +1,209 @@
+// Package monitor implements E2Clab's monitoring manager: named time
+// series collected from the deployed system, windowed aggregation, and SLO
+// rules (e.g. "user response time must stay below 4 s") with sustained-
+// violation detection. The engine model exports its samples here so the
+// harness and examples can analyze and persist them uniformly.
+package monitor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"e2clab/internal/export"
+	"e2clab/internal/stats"
+)
+
+// Point is one sample of a series.
+type Point struct {
+	Time  float64
+	Value float64
+}
+
+// TimeSeries is an ordered sequence of samples of one metric.
+type TimeSeries struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a sample; times must be non-decreasing.
+func (ts *TimeSeries) Add(t, v float64) error {
+	if n := len(ts.Points); n > 0 && t < ts.Points[n-1].Time {
+		return fmt.Errorf("monitor: series %q: time %v before last %v", ts.Name, t, ts.Points[n-1].Time)
+	}
+	ts.Points = append(ts.Points, Point{Time: t, Value: v})
+	return nil
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.Points) }
+
+// Values returns the sample values (copy).
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.Points))
+	for i, p := range ts.Points {
+		out[i] = p.Value
+	}
+	return out
+}
+
+// Summary aggregates the series, skipping NaN samples.
+func (ts *TimeSeries) Summary() stats.Summary {
+	var w stats.Welford
+	for _, p := range ts.Points {
+		if !math.IsNaN(p.Value) {
+			w.Add(p.Value)
+		}
+	}
+	return w.Snapshot()
+}
+
+// Window returns the sub-series with Time in [from, to).
+func (ts *TimeSeries) Window(from, to float64) *TimeSeries {
+	out := &TimeSeries{Name: ts.Name}
+	for _, p := range ts.Points {
+		if p.Time >= from && p.Time < to {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// Downsample reduces the series to buckets of the given width, averaging
+// values within each bucket (NaN samples skipped).
+func (ts *TimeSeries) Downsample(bucket float64) *TimeSeries {
+	if bucket <= 0 || len(ts.Points) == 0 {
+		return &TimeSeries{Name: ts.Name, Points: append([]Point(nil), ts.Points...)}
+	}
+	out := &TimeSeries{Name: ts.Name}
+	start := ts.Points[0].Time
+	var sum float64
+	var n int
+	cur := start
+	flush := func(end float64) {
+		if n > 0 {
+			out.Points = append(out.Points, Point{Time: cur, Value: sum / float64(n)})
+		}
+		sum, n = 0, 0
+		cur = end
+	}
+	for _, p := range ts.Points {
+		for p.Time >= cur+bucket {
+			flush(cur + bucket)
+		}
+		if !math.IsNaN(p.Value) {
+			sum += p.Value
+			n++
+		}
+	}
+	flush(cur + bucket)
+	return out
+}
+
+// Registry holds the series of one experiment.
+type Registry struct {
+	series map[string]*TimeSeries
+	order  []string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{series: make(map[string]*TimeSeries)} }
+
+// Series returns (creating if needed) the named series.
+func (r *Registry) Series(name string) *TimeSeries {
+	ts, ok := r.series[name]
+	if !ok {
+		ts = &TimeSeries{Name: name}
+		r.series[name] = ts
+		r.order = append(r.order, name)
+	}
+	return ts
+}
+
+// Names lists series in creation order.
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// Export converts the registry to export.Series for CSV persistence, in
+// creation order.
+func (r *Registry) Export() []export.Series {
+	out := make([]export.Series, 0, len(r.order))
+	for _, name := range r.order {
+		ts := r.series[name]
+		s := export.Series{Name: name}
+		for _, p := range ts.Points {
+			if math.IsNaN(p.Value) {
+				continue
+			}
+			s.X = append(s.X, p.Time)
+			s.Y = append(s.Y, p.Value)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// SLO is a service-level objective on one series: the value must not exceed
+// (or fall below) a threshold for longer than Sustained seconds.
+type SLO struct {
+	Series string
+	// Max is the upper bound (used when Above is false is meaningless;
+	// Max applies unless Below is set).
+	Max float64
+	// Below, when true, makes Max act as a lower bound instead (violation
+	// when value < Max).
+	Below bool
+	// Sustained is the minimum violation duration to report (0 = any
+	// single sample).
+	Sustained float64
+}
+
+// Violation is one sustained SLO breach.
+type Violation struct {
+	Series     string
+	From, To   float64
+	WorstValue float64
+}
+
+// Check evaluates an SLO against the registry and returns the sustained
+// violations, ordered by start time.
+func (r *Registry) Check(slo SLO) []Violation {
+	ts, ok := r.series[slo.Series]
+	if !ok {
+		return nil
+	}
+	violates := func(v float64) bool {
+		if math.IsNaN(v) {
+			return false
+		}
+		if slo.Below {
+			return v < slo.Max
+		}
+		return v > slo.Max
+	}
+	var out []Violation
+	var cur *Violation
+	for _, p := range ts.Points {
+		if violates(p.Value) {
+			if cur == nil {
+				cur = &Violation{Series: slo.Series, From: p.Time, To: p.Time, WorstValue: p.Value}
+			} else {
+				cur.To = p.Time
+				if (!slo.Below && p.Value > cur.WorstValue) || (slo.Below && p.Value < cur.WorstValue) {
+					cur.WorstValue = p.Value
+				}
+			}
+			continue
+		}
+		if cur != nil {
+			if cur.To-cur.From >= slo.Sustained {
+				out = append(out, *cur)
+			}
+			cur = nil
+		}
+	}
+	if cur != nil && cur.To-cur.From >= slo.Sustained {
+		out = append(out, *cur)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].From < out[j].From })
+	return out
+}

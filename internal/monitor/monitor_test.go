@@ -1,0 +1,138 @@
+package monitor
+
+import (
+	"math"
+	"testing"
+)
+
+func mkSeries(t *testing.T, name string, vals ...float64) *TimeSeries {
+	t.Helper()
+	ts := &TimeSeries{Name: name}
+	for i, v := range vals {
+		if err := ts.Add(float64(i*10), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ts
+}
+
+func TestAddOrdering(t *testing.T) {
+	ts := &TimeSeries{Name: "x"}
+	if err := ts.Add(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Add(5, 2); err == nil {
+		t.Error("out-of-order sample accepted")
+	}
+	if err := ts.Add(10, 3); err != nil {
+		t.Error("equal timestamp rejected")
+	}
+	if ts.Len() != 2 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+}
+
+func TestSummarySkipsNaN(t *testing.T) {
+	ts := mkSeries(t, "resp", 2, math.NaN(), 4)
+	s := ts.Summary()
+	if s.N != 2 || s.Mean != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	ts := mkSeries(t, "x", 0, 1, 2, 3, 4) // times 0,10,20,30,40
+	w := ts.Window(10, 40)
+	if w.Len() != 3 || w.Points[0].Value != 1 || w.Points[2].Value != 3 {
+		t.Errorf("window = %+v", w.Points)
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	ts := mkSeries(t, "x", 1, 3, 5, 7) // times 0,10,20,30
+	d := ts.Downsample(20)
+	if d.Len() != 2 {
+		t.Fatalf("downsample len = %d", d.Len())
+	}
+	if d.Points[0].Value != 2 || d.Points[1].Value != 6 {
+		t.Errorf("downsample = %+v", d.Points)
+	}
+	// Zero bucket: identity copy.
+	id := ts.Downsample(0)
+	if id.Len() != 4 {
+		t.Error("zero-bucket downsample should copy")
+	}
+}
+
+func TestRegistryAndExport(t *testing.T) {
+	r := NewRegistry()
+	a := r.Series("resp")
+	_ = a.Add(0, 2.5)
+	_ = a.Add(10, math.NaN())
+	_ = a.Add(20, 2.7)
+	b := r.Series("cpu")
+	_ = b.Add(0, 0.9)
+	if r.Series("resp") != a {
+		t.Error("Series not idempotent")
+	}
+	names := r.Names()
+	if len(names) != 2 || names[0] != "resp" || names[1] != "cpu" {
+		t.Errorf("Names = %v", names)
+	}
+	ex := r.Export()
+	if len(ex) != 2 || len(ex[0].X) != 2 { // NaN dropped
+		t.Errorf("Export = %+v", ex)
+	}
+}
+
+func TestSLOUpperBound(t *testing.T) {
+	r := NewRegistry()
+	ts := r.Series("user_resp_time")
+	// 4-second SLO: violation sustained from t=20..40, single blip at 80.
+	for i, v := range []float64{3, 3.5, 4.5, 5, 4.2, 3.9, 3.8, 3.7, 4.1, 3.9} {
+		_ = ts.Add(float64(i*10), v)
+	}
+	vs := r.Check(SLO{Series: "user_resp_time", Max: 4, Sustained: 15})
+	if len(vs) != 1 {
+		t.Fatalf("violations = %+v", vs)
+	}
+	if vs[0].From != 20 || vs[0].To != 40 || vs[0].WorstValue != 5 {
+		t.Errorf("violation = %+v", vs[0])
+	}
+	// Without the sustained filter, the single blip at t=80 also reports.
+	all := r.Check(SLO{Series: "user_resp_time", Max: 4})
+	if len(all) != 2 {
+		t.Errorf("unsustained violations = %+v", all)
+	}
+}
+
+func TestSLOLowerBound(t *testing.T) {
+	r := NewRegistry()
+	ts := r.Series("throughput")
+	for i, v := range []float64{30, 29, 10, 12, 30} {
+		_ = ts.Add(float64(i*10), v)
+	}
+	vs := r.Check(SLO{Series: "throughput", Max: 25, Below: true})
+	if len(vs) != 1 || vs[0].WorstValue != 10 {
+		t.Errorf("violations = %+v", vs)
+	}
+}
+
+func TestSLOMissingSeries(t *testing.T) {
+	r := NewRegistry()
+	if vs := r.Check(SLO{Series: "ghost", Max: 1}); vs != nil {
+		t.Errorf("missing series produced %v", vs)
+	}
+}
+
+func TestSLOViolationAtEnd(t *testing.T) {
+	r := NewRegistry()
+	ts := r.Series("m")
+	_ = ts.Add(0, 1)
+	_ = ts.Add(10, 9)
+	_ = ts.Add(20, 9)
+	vs := r.Check(SLO{Series: "m", Max: 5, Sustained: 10})
+	if len(vs) != 1 || vs[0].To != 20 {
+		t.Errorf("trailing violation missed: %+v", vs)
+	}
+}

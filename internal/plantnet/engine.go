@@ -1,0 +1,467 @@
+package plantnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2clab/internal/rngutil"
+	"e2clab/internal/sim"
+	"e2clab/internal/stats"
+)
+
+// RunOptions configures one engine experiment: a thread-pool configuration
+// exercised by a closed-loop population of simultaneous requests for a
+// fixed duration — exactly the paper's experimental unit (23 minutes, one
+// PoolConfig, one workload).
+type RunOptions struct {
+	Pools PoolConfig
+	// Clients is the number of simultaneous requests (the paper's
+	// workloads: 80, 120, 140) for the default closed-loop mode.
+	Clients int
+	// OpenLoopRate, when positive, switches to an open-loop workload:
+	// requests arrive as a Poisson process at this rate (req/s) regardless
+	// of completions, and Clients is ignored. Useful for what-if capacity
+	// studies where demand is exogenous (see examples/capacity).
+	OpenLoopRate float64
+	// Replicas is the number of engine instances, each on its own node
+	// with its own pools, CPU and GPU; clients are spread round-robin
+	// (the paper deploys the engine "on the chifflot machines"). Default 1.
+	Replicas int
+	// Duration is the experiment length in seconds (paper: 1380).
+	Duration float64
+	// Warmup excludes the initial transient from statistics (default 60 s).
+	Warmup float64
+	// SampleInterval is the metric-collection period (paper: 10 s).
+	SampleInterval float64
+	// TraceRequests records the full Table I task breakdown of the first N
+	// post-warmup completions in Metrics.Traces (0 disables tracing).
+	TraceRequests int
+	Seed          int64
+	Hardware      Hardware    // zero value -> Chifflot()
+	Cal           Calibration // zero value -> DefaultCalibration()
+}
+
+func (o *RunOptions) fillDefaults() {
+	if o.Replicas <= 0 {
+		o.Replicas = 1
+	}
+	if o.Duration <= 0 {
+		o.Duration = 1380
+	}
+	if o.Warmup <= 0 {
+		o.Warmup = 60
+	}
+	if o.SampleInterval <= 0 {
+		o.SampleInterval = 10
+	}
+	if o.Hardware == (Hardware{}) {
+		o.Hardware = Chifflot()
+	}
+	if o.Cal.GPURate == 0 {
+		o.Cal = DefaultCalibration()
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Sample is one metric-collection snapshot (every 10 s in the paper).
+// Utilizations and busy fractions average over replicas; power is summed.
+type Sample struct {
+	Time          float64
+	RespTime      float64 // mean response time of requests completed in the window (NaN if none)
+	Throughput    float64 // completions/s in the window
+	CPUUtil       float64
+	GPUUtil       float64 // delivered inference throughput / peak
+	GPUPowerW     float64
+	CPUPowerW     float64
+	GPUMemGB      float64
+	SysMemGB      float64
+	HTTPBusy      float64
+	DownloadBusy  float64
+	ExtractBusy   float64
+	SimsearchBusy float64
+}
+
+// Metrics aggregates an experiment, mirroring the quantities in the paper's
+// Figures 3 and 8-11: user response time (mean ± std over samples), task
+// processing times, resource usage, and pool busy fractions.
+type Metrics struct {
+	Config    PoolConfig
+	Clients   int
+	Replicas  int
+	Duration  float64
+	Completed int
+
+	// UserResponseTime summarizes the per-sample window means, matching
+	// the paper's "metric values collected every 10 seconds".
+	UserResponseTime stats.Summary
+	// RespP50/P95/P99 are per-request response-time percentiles over the
+	// measured period (reservoir-estimated) — tail latency the paper's
+	// means do not expose.
+	RespP50, RespP95, RespP99 float64
+	// Throughput is completions/s over the measured period.
+	Throughput float64
+	// TaskTimes summarizes each Table I step over completed requests.
+	TaskTimes map[string]stats.Summary
+
+	CPUUtil       stats.Summary
+	GPUUtil       stats.Summary
+	GPUPowerW     stats.Summary
+	CPUPowerW     stats.Summary
+	HTTPBusy      stats.Summary
+	DownloadBusy  stats.Summary
+	ExtractBusy   stats.Summary
+	SimsearchBusy stats.Summary
+	// GPUMemGB and SysMemGB are per-replica (per-node) footprints.
+	GPUMemGB float64
+	SysMemGB float64
+	// EnergyPerRequestJ is the engine energy (CPU+GPU, all replicas)
+	// divided by completed requests over the measured period, in Joules.
+	EnergyPerRequestJ float64
+
+	Samples []Sample
+	// Traces holds per-request task breakdowns when
+	// RunOptions.TraceRequests > 0.
+	Traces []RequestTrace
+}
+
+// RequestTrace is the task breakdown of one traced request.
+type RequestTrace struct {
+	// Start is the request submission time.
+	Start float64
+	// Response is the total user response time.
+	Response float64
+	// Tasks are the Table I step durations, in TaskNames order.
+	Tasks [9]float64
+}
+
+// request tracks one identification query through the Table I pipeline.
+type request struct {
+	rep       *replica
+	start     float64
+	taskStart float64
+	tasks     [9]float64 // durations in TaskNames order
+}
+
+// replica is one engine instance on one node: its own pools, CPU and GPU.
+type replica struct {
+	cpu  *sim.SharedResource
+	gpu  *sim.SharedResource
+	http *sim.Pool
+	dl   *sim.Pool
+	ex   *sim.Pool
+	ss   *sim.Pool
+}
+
+// engine wires the replicas and runs the pipeline.
+type engine struct {
+	sim  *sim.Engine
+	rng  *rand.Rand
+	cal  Calibration
+	hw   Hardware
+	cfg  PoolConfig
+	reps []*replica
+	next int // round-robin client assignment
+
+	openLoop   bool
+	warmupDone bool
+	completed  int
+	traceN     int
+	traces     []RequestTrace
+	windowResp stats.Welford    // responses completed in current sample window
+	respRes    *stats.Reservoir // per-request response times, post-warmup
+	taskAgg    [9]stats.Welford
+}
+
+// Run executes one experiment and returns its metrics.
+func Run(opts RunOptions) (*Metrics, error) {
+	opts.fillDefaults()
+	if err := opts.Pools.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Clients < 1 && opts.OpenLoopRate <= 0 {
+		return nil, fmt.Errorf("plantnet: need at least one client or a positive OpenLoopRate")
+	}
+	cal := opts.Cal
+	hw := opts.Hardware
+	se := sim.NewEngine()
+	e := &engine{
+		sim:     se,
+		rng:     rngutil.New(opts.Seed),
+		cal:     cal,
+		hw:      hw,
+		cfg:     opts.Pools,
+		respRes: stats.NewReservoir(8192, rngutil.New(opts.Seed+101)),
+		traceN:  opts.TraceRequests,
+	}
+	gpuRate := func(k float64) float64 {
+		if k <= 0 {
+			return 0
+		}
+		rate := cal.GPURate * math.Min(k, cal.GPUSatConcurrency) / cal.GPUSatConcurrency
+		if over := k - cal.GPUSatConcurrency; over > 0 {
+			rate /= 1 + cal.GPUOversubPenalty*over
+		}
+		return rate
+	}
+	for i := 0; i < opts.Replicas; i++ {
+		rep := &replica{
+			cpu:  sim.NewCPU(se, hw.CPUCores),
+			gpu:  sim.NewSharedResource(se, cal.GPURate, gpuRate),
+			http: sim.NewPool(se, "http", opts.Pools.HTTP),
+			dl:   sim.NewPool(se, "download", opts.Pools.Download),
+			ex:   sim.NewPool(se, "extract", opts.Pools.Extract),
+			ss:   sim.NewPool(se, "simsearch", opts.Pools.Simsearch),
+		}
+		// Pinned per-extract-worker CPU overhead (busy polling, marshaling).
+		rep.cpu.Hold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
+		e.reps = append(e.reps, rep)
+	}
+
+	if opts.OpenLoopRate > 0 {
+		// Open-loop: Poisson arrivals, independent of completions.
+		e.openLoop = true
+		rate := opts.OpenLoopRate
+		var arrive func()
+		arrive = func() {
+			e.submit()
+			se.Schedule(e.rng.ExpFloat64()/rate, arrive)
+		}
+		se.Schedule(e.rng.ExpFloat64()/rate, arrive)
+	} else {
+		// Closed-loop clients: each keeps exactly one request in flight,
+		// starting staggered over the first seconds to avoid lockstep.
+		for i := 0; i < opts.Clients; i++ {
+			se.Schedule(e.rng.Float64()*2, e.submit)
+		}
+	}
+
+	// Metric sampler.
+	m := &Metrics{Config: opts.Pools, Clients: opts.Clients, Replicas: opts.Replicas,
+		Duration: opts.Duration, TaskTimes: make(map[string]stats.Summary)}
+	nRep := float64(opts.Replicas)
+	var (
+		lastCPUWork, lastGPUWork          float64
+		lastHTTPB, lastDLB                float64
+		lastExB, lastSSB                  float64
+		lastT                             float64
+		respW, cpuW, gpuW, hB, dB, xB, sB stats.Welford
+		gpuPW, cpuPW                      stats.Welford
+		energyJ                           float64
+		measStartT                        float64
+		measStartCompleted                int
+	)
+	gpuMem := cal.GPUMemGB(opts.Pools)
+	sysMem := cal.SysMemGB(opts.Pools)
+
+	sumCPUWork := func() float64 {
+		var s float64
+		for _, r := range e.reps {
+			s += r.cpu.WorkIntegral()
+		}
+		return s
+	}
+	sumGPUWork := func() float64 {
+		var s float64
+		for _, r := range e.reps {
+			s += r.gpu.WorkIntegral()
+		}
+		return s
+	}
+	sumBusy := func(pick func(*replica) *sim.Pool) float64 {
+		var s float64
+		for _, r := range e.reps {
+			s += pick(r).BusyIntegral()
+		}
+		return s
+	}
+
+	sampleAt := func(t float64) {
+		dt := t - lastT
+		if dt <= 0 {
+			return
+		}
+		s := Sample{Time: t, GPUMemGB: gpuMem, SysMemGB: sysMem}
+		cw := sumCPUWork()
+		s.CPUUtil = (cw - lastCPUWork) / (hw.CPUCores * nRep * dt)
+		lastCPUWork = cw
+		gw := sumGPUWork()
+		s.GPUUtil = (gw - lastGPUWork) / (cal.GPURate * nRep * dt)
+		lastGPUWork = gw
+		// Power sums over replicas (nodes); utilizations are averages.
+		s.GPUPowerW = (cal.GPUIdlePowerW + cal.GPUPowerSlopeW*s.GPUUtil) * nRep
+		s.CPUPowerW = (cal.CPUIdlePowerW + cal.CPUPowerSlopeW*s.CPUUtil) * nRep
+		hb := sumBusy(func(r *replica) *sim.Pool { return r.http })
+		db := sumBusy(func(r *replica) *sim.Pool { return r.dl })
+		xb := sumBusy(func(r *replica) *sim.Pool { return r.ex })
+		sb := sumBusy(func(r *replica) *sim.Pool { return r.ss })
+		s.HTTPBusy = (hb - lastHTTPB) / (float64(opts.Pools.HTTP) * nRep * dt)
+		s.DownloadBusy = (db - lastDLB) / (float64(opts.Pools.Download) * nRep * dt)
+		s.ExtractBusy = (xb - lastExB) / (float64(opts.Pools.Extract) * nRep * dt)
+		s.SimsearchBusy = (sb - lastSSB) / (float64(opts.Pools.Simsearch) * nRep * dt)
+		lastHTTPB, lastDLB, lastExB, lastSSB = hb, db, xb, sb
+		if e.windowResp.N() > 0 {
+			s.RespTime = e.windowResp.Mean()
+			s.Throughput = float64(e.windowResp.N()) / dt
+		} else {
+			s.RespTime = math.NaN()
+		}
+		e.windowResp = stats.Welford{}
+		lastT = t
+
+		if t > opts.Warmup {
+			if !e.warmupDone {
+				e.warmupDone = true
+				measStartT = t
+				measStartCompleted = e.completed
+			} else {
+				// Aggregate post-warmup samples.
+				if !math.IsNaN(s.RespTime) {
+					respW.Add(s.RespTime)
+				}
+				cpuW.Add(s.CPUUtil)
+				gpuW.Add(s.GPUUtil)
+				gpuPW.Add(s.GPUPowerW)
+				cpuPW.Add(s.CPUPowerW)
+				energyJ += (s.GPUPowerW + s.CPUPowerW) * dt
+				hB.Add(s.HTTPBusy)
+				dB.Add(s.DownloadBusy)
+				xB.Add(s.ExtractBusy)
+				sB.Add(s.SimsearchBusy)
+				m.Samples = append(m.Samples, s)
+			}
+		}
+	}
+	for t := opts.SampleInterval; t <= opts.Duration+1e-9; t += opts.SampleInterval {
+		t := t
+		se.At(t, func() { sampleAt(t) })
+	}
+
+	se.Run(opts.Duration)
+
+	m.Completed = e.completed
+	m.UserResponseTime = respW.Snapshot()
+	if e.respRes.N() > 0 {
+		m.RespP50 = e.respRes.Quantile(0.50)
+		m.RespP95 = e.respRes.Quantile(0.95)
+		m.RespP99 = e.respRes.Quantile(0.99)
+	}
+	m.CPUUtil = cpuW.Snapshot()
+	m.GPUUtil = gpuW.Snapshot()
+	m.GPUPowerW = gpuPW.Snapshot()
+	m.CPUPowerW = cpuPW.Snapshot()
+	if measured := e.completed - measStartCompleted; measured > 0 {
+		m.EnergyPerRequestJ = energyJ / float64(measured)
+	}
+	m.HTTPBusy = hB.Snapshot()
+	m.DownloadBusy = dB.Snapshot()
+	m.ExtractBusy = xB.Snapshot()
+	m.SimsearchBusy = sB.Snapshot()
+	m.GPUMemGB = gpuMem
+	m.SysMemGB = sysMem
+	if span := se.Now() - measStartT; span > 0 && e.warmupDone {
+		m.Throughput = float64(e.completed-measStartCompleted) / span
+	}
+	for i, name := range TaskNames {
+		m.TaskTimes[name] = e.taskAgg[i].Snapshot()
+	}
+	m.Traces = e.traces
+	return m, nil
+}
+
+// submit issues one request, assigned round-robin to a replica, and
+// re-submits on completion (closed loop).
+func (e *engine) submit() {
+	rep := e.reps[e.next%len(e.reps)]
+	e.next++
+	req := &request{rep: rep, start: e.sim.Now()}
+	// Client -> engine network half-RTT.
+	e.sim.Schedule(e.cal.NetworkRTT/2, func() {
+		req.taskStart = e.sim.Now()
+		rep.http.Request(func() { e.preProcess(req) })
+	})
+}
+
+// rec records the duration of task idx and resets the task clock.
+func (e *engine) rec(req *request, idx int) {
+	now := e.sim.Now()
+	req.tasks[idx] = now - req.taskStart
+	req.taskStart = now
+	if e.warmupDone {
+		e.taskAgg[idx].Add(req.tasks[idx])
+	}
+}
+
+// The pipeline below follows Table I exactly; each stage records its
+// duration then chains to the next.
+
+func (e *engine) preProcess(req *request) {
+	// HTTP slot acquired; queueing before this point is part of the user
+	// response time but not a Table I step.
+	req.taskStart = e.sim.Now()
+	req.rep.cpu.Add(e.cal.PreProcessWork.Sample(e.rng), 1, func() {
+		e.rec(req, 0) // pre-process
+		req.rep.dl.Request(func() { e.download(req) })
+	})
+}
+
+func (e *engine) download(req *request) {
+	e.rec(req, 1) // wait-download
+	releaseCPU := req.rep.cpu.Hold(e.cal.DownloadCPUWeight)
+	e.sim.Schedule(e.cal.DownloadTime.Sample(e.rng), func() {
+		releaseCPU()
+		req.rep.dl.Release()
+		e.rec(req, 2) // download
+		req.rep.ex.Request(func() { e.extract(req) })
+	})
+}
+
+func (e *engine) extract(req *request) {
+	e.rec(req, 3) // wait-extract
+	req.rep.gpu.Add(e.cal.ExtractWork.Sample(e.rng), 1, func() {
+		req.rep.ex.Release()
+		e.rec(req, 4) // extract
+		req.rep.cpu.Add(e.cal.ProcessWork.Sample(e.rng), 1, func() {
+			e.rec(req, 5) // process
+			req.rep.ss.Request(func() { e.simsearch(req) })
+		})
+	})
+}
+
+func (e *engine) simsearch(req *request) {
+	e.rec(req, 6) // wait-simsearch
+	req.rep.cpu.Add(e.cal.SimsearchCPUWork.Sample(e.rng), 1, func() {
+		e.sim.Schedule(e.cal.SimsearchIOTime.Sample(e.rng), func() {
+			req.rep.ss.Release()
+			e.rec(req, 7) // simsearch
+			req.rep.cpu.Add(e.cal.PostProcessWork.Sample(e.rng), 1, func() {
+				e.rec(req, 8) // post-process
+				req.rep.http.Release()
+				e.complete(req)
+			})
+		})
+	})
+}
+
+func (e *engine) complete(req *request) {
+	// Engine -> client network half-RTT, then the client sees the response
+	// and immediately issues the next request.
+	e.sim.Schedule(e.cal.NetworkRTT/2, func() {
+		e.completed++
+		resp := e.sim.Now() - req.start
+		e.windowResp.Add(resp)
+		if e.warmupDone {
+			e.respRes.Add(resp)
+			if len(e.traces) < e.traceN {
+				e.traces = append(e.traces, RequestTrace{
+					Start: req.start, Response: resp, Tasks: req.tasks,
+				})
+			}
+		}
+		if !e.openLoop {
+			e.submit()
+		}
+	})
+}

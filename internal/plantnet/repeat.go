@@ -1,0 +1,49 @@
+package plantnet
+
+import (
+	"e2clab/internal/rngutil"
+	"e2clab/internal/stats"
+)
+
+// Repeated runs the same experiment `repeats` times with derived seeds and
+// aggregates the user response time across all samples of all runs — the
+// paper's protocol: 7 experiments of 23 minutes, metric collected every
+// 10 s, reported as mean ± std over the 966 measurements.
+type Repeated struct {
+	Runs []*Metrics
+	// UserResponseTime pools every post-warmup sample of every run.
+	UserResponseTime stats.Summary
+	// Throughput averages the per-run throughputs.
+	Throughput float64
+}
+
+// RunRepeated executes opts.Pools under opts repeats times.
+func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
+	if repeats < 1 {
+		repeats = 1
+	}
+	seeder := rngutil.NewSeeder(opts.Seed + 7)
+	out := &Repeated{}
+	var pooled stats.Welford
+	var thr float64
+	for i := 0; i < repeats; i++ {
+		o := opts
+		o.Seed = seeder.Next()
+		m, err := Run(o)
+		if err != nil {
+			return nil, err
+		}
+		out.Runs = append(out.Runs, m)
+		for _, s := range m.Samples {
+			if !isNaN(s.RespTime) {
+				pooled.Add(s.RespTime)
+			}
+		}
+		thr += m.Throughput
+	}
+	out.UserResponseTime = pooled.Snapshot()
+	out.Throughput = thr / float64(repeats)
+	return out, nil
+}
+
+func isNaN(v float64) bool { return v != v }

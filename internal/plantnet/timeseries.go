@@ -1,0 +1,35 @@
+package plantnet
+
+import "e2clab/internal/monitor"
+
+// Registry exports the experiment's sampled metrics as monitoring time
+// series — the hand-off from the engine model to E2Clab's monitoring
+// manager (SLO checks, CSV persistence, downsampling).
+func (m *Metrics) Registry() *monitor.Registry {
+	r := monitor.NewRegistry()
+	series := []struct {
+		name string
+		get  func(Sample) float64
+	}{
+		{"user_resp_time", func(s Sample) float64 { return s.RespTime }},
+		{"throughput", func(s Sample) float64 { return s.Throughput }},
+		{"cpu_util", func(s Sample) float64 { return s.CPUUtil }},
+		{"gpu_util", func(s Sample) float64 { return s.GPUUtil }},
+		{"gpu_power_w", func(s Sample) float64 { return s.GPUPowerW }},
+		{"cpu_power_w", func(s Sample) float64 { return s.CPUPowerW }},
+		{"gpu_mem_gb", func(s Sample) float64 { return s.GPUMemGB }},
+		{"sys_mem_gb", func(s Sample) float64 { return s.SysMemGB }},
+		{"http_busy", func(s Sample) float64 { return s.HTTPBusy }},
+		{"download_busy", func(s Sample) float64 { return s.DownloadBusy }},
+		{"extract_busy", func(s Sample) float64 { return s.ExtractBusy }},
+		{"simsearch_busy", func(s Sample) float64 { return s.SimsearchBusy }},
+	}
+	for _, def := range series {
+		ts := r.Series(def.name)
+		for _, s := range m.Samples {
+			// Samples are time-ordered by construction; Add cannot fail.
+			_ = ts.Add(s.Time, def.get(s))
+		}
+	}
+	return r
+}

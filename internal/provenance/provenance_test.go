@@ -1,0 +1,144 @@
+package provenance
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestArchiveLifecycle(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "backup", "exp1")
+	a, err := NewArchive(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := a.Prepare(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("optimization directory not created: %v", err)
+	}
+	// Prepare is idempotent.
+	dir2, err := a.Prepare(0)
+	if err != nil || dir2 != dir {
+		t.Fatalf("Prepare not idempotent: %v %v", dir2, err)
+	}
+}
+
+func TestFinalizeAndReadBack(t *testing.T) {
+	a, err := NewArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := []EvaluationRecord{
+		{Index: 1, Config: map[string]float64{"http": 54}, Objective: 2.484, Metric: "user_resp_time"},
+		{Index: 0, Config: map[string]float64{"http": 40}, Objective: 2.657, Metric: "user_resp_time"},
+	}
+	for _, r := range recs {
+		if err := a.Finalize(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := a.Evaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("read %d records", len(got))
+	}
+	// Sorted by index.
+	if got[0].Index != 0 || got[1].Index != 1 {
+		t.Errorf("records not sorted: %+v", got)
+	}
+	if got[0].Objective != 2.657 || got[0].Config["http"] != 40 {
+		t.Errorf("record corrupted: %+v", got[0])
+	}
+}
+
+func TestPreparedButNotFinalizedSkipped(t *testing.T) {
+	a, err := NewArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Prepare(5); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Finalize(EvaluationRecord{Index: 0}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.Evaluations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Errorf("unfinalized eval included: %d records", len(got))
+	}
+}
+
+func TestSummaryRoundTrip(t *testing.T) {
+	a, err := NewArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Summary{
+		Name:      "plantnet_engine",
+		Variables: []VariableDef{{Name: "http", Kind: "int", Low: 20, High: 60}},
+		Objective: "user_resp_time", Mode: "min",
+		SampleMethod: "lhs", SearchAlg: "skopt",
+		Hyperparams:   map[string]string{"base_estimator": "ET"},
+		NumSamples:    10,
+		MaxConcurrent: 2,
+		Seed:          42,
+		BestConfig:    map[string]float64{"http": 54, "download": 54, "simsearch": 53, "extract": 7},
+		BestObjective: 2.484,
+		Evaluations:   9,
+	}
+	if err := a.WriteSummary(s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.ReadSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != s.Name || got.BestObjective != s.BestObjective ||
+		got.BestConfig["http"] != 54 || got.Hyperparams["base_estimator"] != "ET" {
+		t.Errorf("summary mismatch: %+v", got)
+	}
+	if got.FinishedAt == "" {
+		t.Error("FinishedAt not stamped")
+	}
+}
+
+func TestReadSummaryMissing(t *testing.T) {
+	a, err := NewArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadSummary(); err == nil {
+		t.Error("missing summary read succeeded")
+	}
+}
+
+func TestEmptyRootRejected(t *testing.T) {
+	if _, err := NewArchive(""); err == nil {
+		t.Error("empty root accepted")
+	}
+}
+
+func TestCorruptRecordReported(t *testing.T) {
+	a, err := NewArchive(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir, err := a.Prepare(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "evaluation.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Evaluations(); err == nil {
+		t.Error("corrupt record not reported")
+	}
+}

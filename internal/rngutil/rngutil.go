@@ -1,0 +1,48 @@
+// Package rngutil provides deterministic, splittable random-number streams.
+//
+// Reproducibility is a first-class requirement of the E2Clab methodology
+// (Phase III of the optimization cycle archives every seed). All stochastic
+// components of this repository — samplers, surrogate models, the
+// discrete-event simulator, metaheuristics — draw from streams created here
+// so that a run is fully determined by its root seed.
+package rngutil
+
+import "math/rand"
+
+// SplitMix64 advances a 64-bit state and returns the next output of the
+// SplitMix64 generator. It is used to derive independent child seeds from a
+// root seed: consecutive outputs are statistically independent, so each
+// subsystem (sampler, simulator, model, ...) gets its own stream.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Seeder derives independent child seeds from a root seed.
+type Seeder struct {
+	state uint64
+}
+
+// NewSeeder returns a Seeder rooted at seed.
+func NewSeeder(seed int64) *Seeder {
+	return &Seeder{state: uint64(seed)}
+}
+
+// Next returns the next derived seed.
+func (s *Seeder) Next() int64 {
+	return int64(SplitMix64(&s.state))
+}
+
+// NextRand returns a new *rand.Rand seeded with the next derived seed.
+func (s *Seeder) NextRand() *rand.Rand {
+	return rand.New(rand.NewSource(s.Next()))
+}
+
+// New returns a *rand.Rand for a root seed, for components that need a
+// single stream.
+func New(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

@@ -1,0 +1,27 @@
+package sample
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkLHS(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		LatinHypercube{}.Sample(r, 45, 4)
+	}
+}
+
+func BenchmarkSobol(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		Sobol{}.Sample(r, 45, 4)
+	}
+}
+
+func BenchmarkHalton(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		Halton{}.Sample(r, 45, 4)
+	}
+}

@@ -1,0 +1,208 @@
+// Package sample implements the initial-point generators of the paper's
+// Phase II (Surrogate Model Building, step (a)): "a few sample points are
+// generated, respecting the upper and lower limits of each optimization
+// variable... Sampling methods such as Latin Hypercube Sample or Low
+// Discrepancy Sample may be applied."
+//
+// All samplers produce points in the d-dimensional unit cube [0,1)^d; package
+// space maps them onto the actual variable domains.
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sampler generates n points in the unit hypercube of the given dimension.
+type Sampler interface {
+	// Sample returns n rows of dim columns, each value in [0,1).
+	Sample(r *rand.Rand, n, dim int) [][]float64
+	// Name identifies the sampler in reproducibility summaries.
+	Name() string
+}
+
+// ByName returns the sampler registered under name ("random", "lhs",
+// "sobol", "halton", "grid"), mirroring skopt's initial_point_generator
+// string option used in Listing 1 of the paper.
+func ByName(name string) (Sampler, error) {
+	switch name {
+	case "random":
+		return Random{}, nil
+	case "lhs":
+		return LatinHypercube{}, nil
+	case "sobol":
+		return Sobol{}, nil
+	case "halton":
+		return Halton{}, nil
+	case "grid":
+		return Grid{}, nil
+	default:
+		return nil, fmt.Errorf("sample: unknown sampler %q", name)
+	}
+}
+
+// Random is plain uniform sampling.
+type Random struct{}
+
+// Name implements Sampler.
+func (Random) Name() string { return "random" }
+
+// Sample implements Sampler.
+func (Random) Sample(r *rand.Rand, n, dim int) [][]float64 {
+	pts := alloc(n, dim)
+	for i := range pts {
+		for j := range pts[i] {
+			pts[i][j] = r.Float64()
+		}
+	}
+	return pts
+}
+
+// LatinHypercube stratifies each dimension into n equal cells and places
+// exactly one point per cell per dimension (the "lhs" generator of
+// Listing 1). Centered=true uses cell midpoints instead of jittering.
+type LatinHypercube struct {
+	Centered bool
+}
+
+// Name implements Sampler.
+func (l LatinHypercube) Name() string {
+	if l.Centered {
+		return "lhs-centered"
+	}
+	return "lhs"
+}
+
+// Sample implements Sampler.
+func (l LatinHypercube) Sample(r *rand.Rand, n, dim int) [][]float64 {
+	pts := alloc(n, dim)
+	perm := make([]int, n)
+	for j := 0; j < dim; j++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		r.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+		for i := 0; i < n; i++ {
+			off := 0.5
+			if !l.Centered {
+				off = r.Float64()
+			}
+			pts[i][j] = (float64(perm[i]) + off) / float64(n)
+		}
+	}
+	return pts
+}
+
+// Halton is a scrambled Halton low-discrepancy sequence (one prime base per
+// dimension, random digit scrambling for robustness in higher dimensions).
+type Halton struct {
+	// Unscrambled disables digit scrambling, yielding the classic sequence.
+	Unscrambled bool
+}
+
+// Name implements Sampler.
+func (Halton) Name() string { return "halton" }
+
+// Sample implements Sampler.
+func (h Halton) Sample(r *rand.Rand, n, dim int) [][]float64 {
+	if dim > len(primes) {
+		panic(fmt.Sprintf("sample: Halton supports up to %d dimensions, got %d", len(primes), dim))
+	}
+	pts := alloc(n, dim)
+	for j := 0; j < dim; j++ {
+		base := primes[j]
+		var scramble []int
+		if !h.Unscrambled {
+			scramble = randomDigitPermutation(r, base)
+		}
+		for i := 0; i < n; i++ {
+			pts[i][j] = radicalInverse(i+1, base, scramble)
+		}
+	}
+	return pts
+}
+
+// radicalInverse computes the base-b radical inverse of k, optionally
+// applying a digit permutation (scrambling) that fixes 0.
+func radicalInverse(k, base int, scramble []int) float64 {
+	inv := 0.0
+	f := 1.0 / float64(base)
+	for k > 0 {
+		d := k % base
+		if scramble != nil {
+			d = scramble[d]
+		}
+		inv += float64(d) * f
+		f /= float64(base)
+		k /= base
+	}
+	return inv
+}
+
+// randomDigitPermutation returns a permutation of 0..base-1 fixing 0 (so
+// that the sequence stays in [0,1) and retains its net structure).
+func randomDigitPermutation(r *rand.Rand, base int) []int {
+	p := make([]int, base)
+	for i := range p {
+		p[i] = i
+	}
+	// Shuffle digits 1..base-1 only.
+	for i := base - 1; i > 1; i-- {
+		j := 1 + r.Intn(i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+var primes = []int{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113}
+
+// Grid places points on the regular lattice closest in size to n: it uses
+// ceil(n^(1/dim)) levels per axis and returns the first n lattice points.
+type Grid struct{}
+
+// Name implements Sampler.
+func (Grid) Name() string { return "grid" }
+
+// Sample implements Sampler.
+func (Grid) Sample(r *rand.Rand, n, dim int) [][]float64 {
+	levels := 1
+	for pow(levels, dim) < n {
+		levels++
+	}
+	pts := alloc(n, dim)
+	idx := make([]int, dim)
+	for i := 0; i < n; i++ {
+		for j := 0; j < dim; j++ {
+			pts[i][j] = (float64(idx[j]) + 0.5) / float64(levels)
+		}
+		// Increment mixed-radix counter.
+		for j := 0; j < dim; j++ {
+			idx[j]++
+			if idx[j] < levels {
+				break
+			}
+			idx[j] = 0
+		}
+	}
+	return pts
+}
+
+func pow(b, e int) int {
+	p := 1
+	for i := 0; i < e; i++ {
+		p *= b
+		if p < 0 { // overflow guard
+			return 1 << 62
+		}
+	}
+	return p
+}
+
+func alloc(n, dim int) [][]float64 {
+	backing := make([]float64, n*dim)
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i], backing = backing[:dim:dim], backing[dim:]
+	}
+	return pts
+}

@@ -1,0 +1,255 @@
+package sample
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func allSamplers() []Sampler {
+	return []Sampler{
+		Random{},
+		LatinHypercube{},
+		LatinHypercube{Centered: true},
+		Halton{},
+		Halton{Unscrambled: true},
+		Sobol{},
+		Sobol{Scrambled: true},
+		Grid{},
+	}
+}
+
+func TestAllSamplersInUnitCube(t *testing.T) {
+	for _, s := range allSamplers() {
+		r := rand.New(rand.NewSource(1))
+		for _, dim := range []int{1, 2, 4, 8} {
+			pts := s.Sample(r, 97, dim)
+			if len(pts) != 97 {
+				t.Fatalf("%s: got %d points, want 97", s.Name(), len(pts))
+			}
+			for i, p := range pts {
+				if len(p) != dim {
+					t.Fatalf("%s: point %d has %d coords, want %d", s.Name(), i, len(p), dim)
+				}
+				for j, v := range p {
+					if v < 0 || v >= 1 {
+						t.Fatalf("%s: point %d coord %d = %v outside [0,1)", s.Name(), i, j, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSamplersDeterministicForSeed(t *testing.T) {
+	for _, s := range allSamplers() {
+		a := s.Sample(rand.New(rand.NewSource(42)), 33, 3)
+		b := s.Sample(rand.New(rand.NewSource(42)), 33, 3)
+		for i := range a {
+			for j := range a[i] {
+				if a[i][j] != b[i][j] {
+					t.Fatalf("%s: not deterministic at [%d][%d]", s.Name(), i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestLHSStratification verifies the defining Latin hypercube property:
+// exactly one point in each of the n equal-width cells of every dimension.
+func TestLHSStratification(t *testing.T) {
+	for _, centered := range []bool{false, true} {
+		s := LatinHypercube{Centered: centered}
+		r := rand.New(rand.NewSource(5))
+		n, dim := 45, 4 // the paper's n_initial_points=45
+		pts := s.Sample(r, n, dim)
+		for j := 0; j < dim; j++ {
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				cell := int(pts[i][j] * float64(n))
+				if cell < 0 || cell >= n {
+					t.Fatalf("cell %d out of range", cell)
+				}
+				if seen[cell] {
+					t.Fatalf("centered=%v dim %d: cell %d occupied twice", centered, j, cell)
+				}
+				seen[cell] = true
+			}
+		}
+	}
+}
+
+func TestLHSPropertyAnyN(t *testing.T) {
+	s := LatinHypercube{}
+	f := func(seed int64, rawN uint8) bool {
+		n := int(rawN%50) + 1
+		pts := s.Sample(rand.New(rand.NewSource(seed)), n, 2)
+		for j := 0; j < 2; j++ {
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				c := int(pts[i][j] * float64(n))
+				if c >= n || seen[c] {
+					return false
+				}
+				seen[c] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSobolFirstPoints checks the canonical start of the unscrambled Sobol
+// sequence (dimension 1 is van der Corput base 2; dimension 2 per Joe–Kuo).
+func TestSobolFirstPoints(t *testing.T) {
+	pts := Sobol{}.Sample(rand.New(rand.NewSource(1)), 8, 2)
+	wantD1 := []float64{0, 0.5, 0.75, 0.25, 0.375, 0.875, 0.625, 0.125}
+	for i, w := range wantD1 {
+		if math.Abs(pts[i][0]-w) > 1e-9 {
+			t.Errorf("sobol dim1 point %d = %v, want %v", i, pts[i][0], w)
+		}
+	}
+	wantD2 := []float64{0, 0.5, 0.25, 0.75}
+	for i, w := range wantD2 {
+		if math.Abs(pts[i][1]-w) > 1e-9 {
+			t.Errorf("sobol dim2 point %d = %v, want %v", i, pts[i][1], w)
+		}
+	}
+}
+
+// TestSobolBalance: every power-of-two prefix of a Sobol sequence has
+// exactly half its points in each half of every axis.
+func TestSobolBalance(t *testing.T) {
+	pts := Sobol{}.Sample(rand.New(rand.NewSource(1)), 64, 8)
+	for j := 0; j < 8; j++ {
+		lo := 0
+		for i := 0; i < 64; i++ {
+			if pts[i][j] < 0.5 {
+				lo++
+			}
+		}
+		if lo != 32 {
+			t.Errorf("dim %d: %d points below 0.5, want 32", j, lo)
+		}
+	}
+}
+
+func TestSobolScrambledBalance(t *testing.T) {
+	pts := Sobol{Scrambled: true}.Sample(rand.New(rand.NewSource(9)), 64, 4)
+	for j := 0; j < 4; j++ {
+		lo := 0
+		for i := 0; i < 64; i++ {
+			if pts[i][j] < 0.5 {
+				lo++
+			}
+		}
+		if lo != 32 {
+			t.Errorf("scrambled dim %d: %d points below 0.5, want 32", j, lo)
+		}
+	}
+}
+
+func TestSobolDimensionLimit(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Sobol beyond MaxSobolDim did not panic")
+		}
+	}()
+	Sobol{}.Sample(rand.New(rand.NewSource(1)), 4, MaxSobolDim+1)
+}
+
+// TestHaltonFirstPoints checks the classic unscrambled Halton sequence in
+// bases 2 and 3.
+func TestHaltonFirstPoints(t *testing.T) {
+	pts := Halton{Unscrambled: true}.Sample(rand.New(rand.NewSource(1)), 6, 2)
+	wantB2 := []float64{0.5, 0.25, 0.75, 0.125, 0.625, 0.375}
+	wantB3 := []float64{1. / 3, 2. / 3, 1. / 9, 4. / 9, 7. / 9, 2. / 9}
+	for i := range wantB2 {
+		if math.Abs(pts[i][0]-wantB2[i]) > 1e-12 {
+			t.Errorf("halton b2 point %d = %v, want %v", i, pts[i][0], wantB2[i])
+		}
+		if math.Abs(pts[i][1]-wantB3[i]) > 1e-12 {
+			t.Errorf("halton b3 point %d = %v, want %v", i, pts[i][1], wantB3[i])
+		}
+	}
+}
+
+// TestDiscrepancyOrdering: low-discrepancy sequences should fill space more
+// evenly than random sampling. We measure the max deviation between
+// empirical and expected counts over axis-aligned anchored boxes in 2D.
+func TestDiscrepancyOrdering(t *testing.T) {
+	n := 256
+	star := func(pts [][]float64) float64 {
+		worst := 0.0
+		for _, gx := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+			for _, gy := range []float64{0.1, 0.25, 0.5, 0.75, 0.9} {
+				cnt := 0
+				for _, p := range pts {
+					if p[0] < gx && p[1] < gy {
+						cnt++
+					}
+				}
+				dev := math.Abs(float64(cnt)/float64(n) - gx*gy)
+				if dev > worst {
+					worst = dev
+				}
+			}
+		}
+		return worst
+	}
+	r := rand.New(rand.NewSource(3))
+	dRandom := star(Random{}.Sample(r, n, 2))
+	dSobol := star(Sobol{}.Sample(r, n, 2))
+	dHalton := star(Halton{Unscrambled: true}.Sample(r, n, 2))
+	if dSobol >= dRandom {
+		t.Errorf("sobol discrepancy %v not better than random %v", dSobol, dRandom)
+	}
+	if dHalton >= dRandom {
+		t.Errorf("halton discrepancy %v not better than random %v", dHalton, dRandom)
+	}
+}
+
+func TestGridCoversLattice(t *testing.T) {
+	pts := Grid{}.Sample(rand.New(rand.NewSource(1)), 9, 2)
+	// 9 points in 2D: 3x3 lattice at cell midpoints.
+	want := []float64{1. / 6, 0.5, 5. / 6}
+	seen := map[[2]int]bool{}
+	for _, p := range pts {
+		var key [2]int
+		for j, v := range p {
+			found := -1
+			for k, w := range want {
+				if math.Abs(v-w) < 1e-12 {
+					found = k
+				}
+			}
+			if found < 0 {
+				t.Fatalf("grid point coord %v not on 3-level lattice", v)
+			}
+			key[j] = found
+		}
+		seen[key] = true
+	}
+	if len(seen) != 9 {
+		t.Errorf("grid produced %d distinct lattice cells, want 9", len(seen))
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"random", "lhs", "sobol", "halton", "grid"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s == nil {
+			t.Errorf("ByName(%q) returned nil", name)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("ByName(bogus) did not error")
+	}
+}

@@ -1,0 +1,127 @@
+package sample
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sobol is the Sobol' low-discrepancy sequence with Joe–Kuo direction
+// numbers for up to 16 dimensions. Scrambled=true applies a random digital
+// shift (XOR scrambling), which preserves the low-discrepancy structure
+// while decorrelating repeated runs.
+type Sobol struct {
+	Scrambled bool
+}
+
+// sobolDim holds the primitive-polynomial parameters of one dimension:
+// degree s, coefficient bits a, and initial direction numbers m (odd).
+type sobolDim struct {
+	s int
+	a uint32
+	m []uint32
+}
+
+// Joe–Kuo (new-joe-kuo-6) parameters for dimensions 2..16; dimension 1 is
+// the van der Corput sequence in base 2.
+var sobolParams = []sobolDim{
+	{1, 0, []uint32{1}},
+	{2, 1, []uint32{1, 3}},
+	{3, 1, []uint32{1, 3, 1}},
+	{3, 2, []uint32{1, 1, 1}},
+	{4, 1, []uint32{1, 1, 3, 3}},
+	{4, 4, []uint32{1, 3, 5, 13}},
+	{5, 2, []uint32{1, 1, 5, 5, 17}},
+	{5, 4, []uint32{1, 1, 5, 5, 5}},
+	{5, 7, []uint32{1, 1, 7, 11, 19}},
+	{5, 11, []uint32{1, 1, 5, 1, 1}},
+	{5, 13, []uint32{1, 1, 1, 3, 11}},
+	{5, 14, []uint32{1, 3, 5, 5, 31}},
+	{6, 1, []uint32{1, 3, 3, 9, 7, 49}},
+	{6, 13, []uint32{1, 1, 1, 15, 21, 21}},
+	{6, 16, []uint32{1, 3, 1, 13, 27, 49}},
+}
+
+const sobolBits = 30
+
+// MaxSobolDim is the largest dimension this Sobol implementation supports.
+const MaxSobolDim = 16
+
+// Name implements Sampler.
+func (s Sobol) Name() string {
+	if s.Scrambled {
+		return "sobol-scrambled"
+	}
+	return "sobol"
+}
+
+// Sample implements Sampler.
+func (s Sobol) Sample(r *rand.Rand, n, dim int) [][]float64 {
+	if dim > MaxSobolDim {
+		panic(fmt.Sprintf("sample: Sobol supports up to %d dimensions, got %d", MaxSobolDim, dim))
+	}
+	v := directionNumbers(dim)
+	pts := alloc(n, dim)
+	shift := make([]uint32, dim)
+	if s.Scrambled {
+		for j := range shift {
+			shift[j] = uint32(r.Int63()) & ((1 << sobolBits) - 1)
+		}
+	}
+	x := make([]uint32, dim)
+	scale := 1.0 / float64(uint32(1)<<sobolBits)
+	for i := 0; i < n; i++ {
+		// Gray-code construction: point i flips the bit at the position of
+		// the lowest zero bit of i.
+		if i > 0 {
+			c := trailingOnes(uint32(i - 1))
+			for j := 0; j < dim; j++ {
+				x[j] ^= v[j][c]
+			}
+		}
+		for j := 0; j < dim; j++ {
+			pts[i][j] = float64(x[j]^shift[j]) * scale
+		}
+	}
+	return pts
+}
+
+// trailingOnes returns the number of consecutive 1 bits at the bottom of k,
+// i.e. the index of the lowest zero bit.
+func trailingOnes(k uint32) int {
+	c := 0
+	for k&1 == 1 {
+		k >>= 1
+		c++
+	}
+	return c
+}
+
+// directionNumbers expands the Joe–Kuo parameters into per-dimension
+// direction number tables v[j][bit].
+func directionNumbers(dim int) [][]uint32 {
+	v := make([][]uint32, dim)
+	for j := 0; j < dim; j++ {
+		vj := make([]uint32, sobolBits)
+		if j == 0 {
+			for i := 0; i < sobolBits; i++ {
+				vj[i] = 1 << (sobolBits - 1 - i)
+			}
+			v[0] = vj
+			continue
+		}
+		p := sobolParams[j-1]
+		for i := 0; i < p.s && i < sobolBits; i++ {
+			vj[i] = p.m[i] << (sobolBits - 1 - i)
+		}
+		for i := p.s; i < sobolBits; i++ {
+			vj[i] = vj[i-p.s] ^ (vj[i-p.s] >> p.s)
+			for k := 1; k < p.s; k++ {
+				if (p.a>>(p.s-1-k))&1 == 1 {
+					vj[i] ^= vj[i-k]
+				}
+			}
+		}
+		v[j] = vj
+	}
+	return v
+}

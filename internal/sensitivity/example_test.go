@@ -1,0 +1,32 @@
+package sensitivity_test
+
+import (
+	"fmt"
+	"math"
+
+	"e2clab/internal/sensitivity"
+	"e2clab/internal/space"
+)
+
+// The paper's Section IV-C protocol: a One-at-a-time sweep of the extract
+// pool (±2) around the preliminary optimum.
+func ExampleOAT() {
+	p := space.PlantNetProblem()
+	center := []float64{54, 54, 53, 7}
+	resp := func(x []float64) float64 { return 2.4 + 0.05*math.Abs(x[3]-6) }
+	sweep, err := sensitivity.OAT(p.Space, center, "extract", 2, resp)
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range sweep.Points {
+		fmt.Printf("extract=%d resp=%.2f\n", int(pt.Value), pt.Y)
+	}
+	fmt.Printf("best: extract=%d\n", int(sweep.Best().Value))
+	// Output:
+	// extract=5 resp=2.45
+	// extract=6 resp=2.40
+	// extract=7 resp=2.45
+	// extract=8 resp=2.50
+	// extract=9 resp=2.55
+	// best: extract=6
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Dist is a distribution of nonnegative durations (seconds).
+type Dist interface {
+	// Sample draws one value using r.
+	Sample(r *rand.Rand) float64
+	// Mean returns the distribution mean.
+	Mean() float64
+}
+
+// Deterministic always returns V.
+type Deterministic struct{ V float64 }
+
+// Sample implements Dist.
+func (d Deterministic) Sample(*rand.Rand) float64 { return d.V }
+
+// Mean implements Dist.
+func (d Deterministic) Mean() float64 { return d.V }
+
+// Exponential has rate 1/MeanV.
+type Exponential struct{ MeanV float64 }
+
+// Sample implements Dist.
+func (d Exponential) Sample(r *rand.Rand) float64 { return r.ExpFloat64() * d.MeanV }
+
+// Mean implements Dist.
+func (d Exponential) Mean() float64 { return d.MeanV }
+
+// Uniform is uniform on [Low, High].
+type Uniform struct{ Low, High float64 }
+
+// Sample implements Dist.
+func (d Uniform) Sample(r *rand.Rand) float64 { return d.Low + r.Float64()*(d.High-d.Low) }
+
+// Mean implements Dist.
+func (d Uniform) Mean() float64 { return (d.Low + d.High) / 2 }
+
+// LogNormal is parameterized directly by its mean and the coefficient of
+// variation CV (stddev/mean), which is how service-time variability is
+// naturally specified when calibrating against measured latencies.
+type LogNormal struct {
+	MeanV float64
+	CV    float64
+}
+
+// Sample implements Dist.
+func (d LogNormal) Sample(r *rand.Rand) float64 {
+	if d.CV <= 0 {
+		return d.MeanV
+	}
+	sigma2 := math.Log(1 + d.CV*d.CV)
+	mu := math.Log(d.MeanV) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*r.NormFloat64())
+}
+
+// Mean implements Dist.
+func (d LogNormal) Mean() float64 { return d.MeanV }
+
+// TruncNormal is a normal distribution truncated at zero (resampled).
+type TruncNormal struct{ MeanV, StdDev float64 }
+
+// Sample implements Dist.
+func (d TruncNormal) Sample(r *rand.Rand) float64 {
+	for i := 0; i < 64; i++ {
+		v := d.MeanV + d.StdDev*r.NormFloat64()
+		if v >= 0 {
+			return v
+		}
+	}
+	return 0
+}
+
+// Mean implements Dist (approximate when truncation mass is significant).
+func (d TruncNormal) Mean() float64 { return d.MeanV }

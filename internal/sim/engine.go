@@ -1,0 +1,139 @@
+// Package sim is a deterministic discrete-event simulation kernel. It is the
+// substrate on which the Pl@ntNet Identification Engine model
+// (internal/plantnet) and the testbed network model run.
+//
+// The kernel is callback-based and single-threaded: events fire in
+// (time, insertion) order, so a simulation is fully determined by its inputs
+// and seed — a requirement for the reproducible experiments the paper's
+// methodology mandates.
+package sim
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Engine is an event calendar with a simulation clock.
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Event is a handle to a scheduled callback; it can be cancelled.
+type Event struct {
+	time      float64
+	seq       int64
+	fn        func()
+	index     int // heap index, -1 once popped or cancelled
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling a fired or already
+// cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Schedule runs fn after delay seconds of simulated time. A negative delay
+// is treated as zero (fires at the current instant, after already-queued
+// events for that instant).
+func (e *Engine) Schedule(delay float64, fn func()) *Event {
+	if delay < 0 || math.IsNaN(delay) {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulation time t (clamped to now).
+func (e *Engine) At(t float64, fn func()) *Event {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	ev := &Event{time: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Step fires the next event. It returns false when the calendar is empty.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		e.now = ev.time
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the calendar is empty or the clock would pass
+// until. The clock is left at min(until, last event time); events scheduled
+// beyond until remain queued.
+func (e *Engine) Run(until float64) {
+	for e.events.Len() > 0 {
+		next := e.events[0]
+		if next.cancelled {
+			heap.Pop(&e.events)
+			continue
+		}
+		if next.time > until {
+			e.now = until
+			return
+		}
+		heap.Pop(&e.events)
+		e.now = next.time
+		next.fn()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of scheduled (non-cancelled) events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.events {
+		if !ev.cancelled {
+			n++
+		}
+	}
+	return n
+}
+
+// eventHeap orders events by (time, seq): simultaneous events fire in
+// scheduling order, which keeps runs deterministic.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index, h[j].index = i, j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}

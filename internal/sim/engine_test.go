@@ -1,0 +1,371 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.Schedule(2, func() { order = append(order, 2) })
+	e.Schedule(1, func() { order = append(order, 1) })
+	e.Schedule(3, func() { order = append(order, 3) })
+	e.Run(10)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		e.Schedule(1, func() { order = append(order, i) })
+	}
+	e.Run(2)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of order at %d: %v", i, v)
+		}
+	}
+}
+
+func TestRunStopsAtUntil(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.Schedule(5, func() { fired = true })
+	e.Run(4)
+	if fired {
+		t.Error("event beyond horizon fired")
+	}
+	if e.Now() != 4 {
+		t.Errorf("clock = %v, want 4", e.Now())
+	}
+	e.Run(6)
+	if !fired {
+		t.Error("event not fired after extending horizon")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.Schedule(1, func() { fired = true })
+	ev.Cancel()
+	e.Run(2)
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d", e.Pending())
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(1, func() {
+		e.Schedule(-5, func() {
+			if e.Now() != 1 {
+				t.Errorf("negative delay fired at %v", e.Now())
+			}
+		})
+	})
+	e.Run(2)
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Schedule(1, func() {
+		times = append(times, e.Now())
+		e.Schedule(1, func() { times = append(times, e.Now()) })
+	})
+	e.Run(5)
+	if len(times) != 2 || times[0] != 1 || times[1] != 2 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	e.Schedule(1, func() { n++ })
+	e.Schedule(2, func() { n++ })
+	if !e.Step() || n != 1 || e.Now() != 1 {
+		t.Fatalf("first step: n=%d now=%v", n, e.Now())
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Error("Step on empty calendar returned true")
+	}
+}
+
+func TestPoolFIFOAndCounts(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "http", 2)
+	var granted []int
+	for i := 0; i < 5; i++ {
+		i := i
+		p.Request(func() {
+			granted = append(granted, i)
+			e.Schedule(1, p.Release)
+		})
+	}
+	e.Run(100)
+	if len(granted) != 5 {
+		t.Fatalf("granted %d, want 5", len(granted))
+	}
+	for i, v := range granted {
+		if v != i {
+			t.Fatalf("grant order %v not FIFO", granted)
+		}
+	}
+	if p.Busy() != 0 || p.Queued() != 0 {
+		t.Errorf("pool not drained: busy=%d queued=%d", p.Busy(), p.Queued())
+	}
+	if p.Grants() != 5 {
+		t.Errorf("Grants = %d", p.Grants())
+	}
+	if p.MaxQueued() != 3 {
+		t.Errorf("MaxQueued = %d, want 3", p.MaxQueued())
+	}
+}
+
+func TestPoolBusyIntegral(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "x", 2)
+	// Two holders for 3s each, starting immediately: busy integral = 6.
+	for i := 0; i < 2; i++ {
+		p.Request(func() { e.Schedule(3, p.Release) })
+	}
+	e.Run(10)
+	if got := p.BusyIntegral(); math.Abs(got-6) > 1e-9 {
+		t.Errorf("BusyIntegral = %v, want 6", got)
+	}
+	// Average utilization over [0,10] with 2 slots = 6/20.
+	if got := p.Utilization(0, 0); math.Abs(got-0.3) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.3", got)
+	}
+}
+
+func TestPoolQueueIntegral(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "x", 1)
+	p.Request(func() { e.Schedule(2, p.Release) })
+	p.Request(func() { e.Schedule(2, p.Release) }) // waits 2s in queue
+	e.Run(10)
+	if got := p.QueueIntegral(); math.Abs(got-2) > 1e-9 {
+		t.Errorf("QueueIntegral = %v, want 2", got)
+	}
+}
+
+func TestPoolReleasePanicsWhenIdle(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "x", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release on idle pool did not panic")
+		}
+	}()
+	p.Release()
+}
+
+func TestSharedResourceSingleJob(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 4)
+	var doneAt float64
+	cpu.Add(2, 1, func() { doneAt = e.Now() }) // 2 units of work at rate 1
+	e.Run(100)
+	if math.Abs(doneAt-2) > 1e-9 {
+		t.Errorf("single job done at %v, want 2", doneAt)
+	}
+}
+
+func TestSharedResourceProcessorSharing(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1) // 1 core
+	var at []float64
+	// Two equal jobs of 1s of work share the core: both finish at t=2.
+	cpu.Add(1, 1, func() { at = append(at, e.Now()) })
+	cpu.Add(1, 1, func() { at = append(at, e.Now()) })
+	e.Run(100)
+	if len(at) != 2 || math.Abs(at[0]-2) > 1e-9 || math.Abs(at[1]-2) > 1e-9 {
+		t.Errorf("completion times = %v, want [2 2]", at)
+	}
+}
+
+func TestSharedResourceUnequalArrival(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var a, b float64
+	cpu.Add(1, 1, func() { a = e.Now() })
+	e.Schedule(0.5, func() { cpu.Add(1, 1, func() { b = e.Now() }) })
+	e.Run(100)
+	// Job A: runs alone [0,0.5] (0.5 done), shares [0.5,1.5] (0.5 done) -> 1.5.
+	// Job B: shares [0.5,1.5] (0.5 done), runs alone [1.5,2.0] -> 2.0.
+	if math.Abs(a-1.5) > 1e-9 || math.Abs(b-2.0) > 1e-9 {
+		t.Errorf("a=%v b=%v, want 1.5, 2.0", a, b)
+	}
+}
+
+func TestSharedResourceWeights(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var heavy, light float64
+	cpu.Add(1, 3, func() { heavy = e.Now() }) // gets 3/4 of the core
+	cpu.Add(1, 1, func() { light = e.Now() }) // gets 1/4
+	e.Run(100)
+	// heavy finishes 1/(3/4) = 4/3; then light has 1 - (4/3)*(1/4) = 2/3
+	// remaining at full rate -> 4/3 + 2/3 = 2.
+	if math.Abs(heavy-4.0/3) > 1e-9 || math.Abs(light-2) > 1e-9 {
+		t.Errorf("heavy=%v light=%v, want 1.333, 2", heavy, light)
+	}
+}
+
+func TestSharedResourceBelowSaturationNoSlowdown(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 8)
+	var done []float64
+	for i := 0; i < 4; i++ {
+		cpu.Add(1, 1, func() { done = append(done, e.Now()) })
+	}
+	e.Run(100)
+	for _, d := range done {
+		if math.Abs(d-1) > 1e-9 {
+			t.Errorf("job under light load finished at %v, want 1", d)
+		}
+	}
+}
+
+func TestGPUSaturation(t *testing.T) {
+	e := NewEngine()
+	// GPU: peak aggregate rate 6 work/s, saturating at 6 concurrent jobs.
+	gpu := NewGPU(e, 6, 6)
+	// 12 jobs of 1 unit each: aggregate rate 6 -> each job rate 0.5,
+	// all finish at t=2. Throughput is capped, latency doubles.
+	n := 0
+	for i := 0; i < 12; i++ {
+		gpu.Add(1, 1, func() { n++ })
+	}
+	e.Run(1.99)
+	if n != 0 {
+		t.Fatalf("%d jobs finished before t=2", n)
+	}
+	e.Run(2.01)
+	if n != 12 {
+		t.Fatalf("%d jobs finished, want 12", n)
+	}
+}
+
+func TestGPUBelowSaturationLatencyConstant(t *testing.T) {
+	e := NewEngine()
+	gpu := NewGPU(e, 6, 6)
+	// 3 concurrent jobs: total rate 6*3/6 = 3, each gets rate 1.
+	var done []float64
+	for i := 0; i < 3; i++ {
+		gpu.Add(1, 1, func() { done = append(done, e.Now()) })
+	}
+	e.Run(100)
+	for _, d := range done {
+		if math.Abs(d-1) > 1e-9 {
+			t.Errorf("below saturation latency %v, want 1", d)
+		}
+	}
+}
+
+func TestSharedResourceCancel(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	var a float64
+	bFired := false
+	cpu.Add(2, 1, func() { a = e.Now() })
+	cancel := cpu.Add(2, 1, func() { bFired = true })
+	e.Schedule(1, cancel)
+	e.Run(100)
+	if bFired {
+		t.Error("cancelled job completed")
+	}
+	// A shares [0,1] (0.5 done), then runs alone: 1 + 1.5 = 2.5.
+	if math.Abs(a-2.5) > 1e-9 {
+		t.Errorf("a done at %v, want 2.5", a)
+	}
+	// Cancelling twice is a no-op.
+	cancel()
+}
+
+func TestSharedResourceZeroWork(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 1)
+	done := false
+	cpu.Add(0, 1, func() { done = true })
+	e.Run(0.001)
+	if !done {
+		t.Error("zero-work job did not complete immediately")
+	}
+}
+
+func TestSharedResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 4)
+	// One job of 2 units at weight 1: delivers rate 1 for 2s.
+	cpu.Add(2, 1, func() {})
+	e.Run(4)
+	// Utilization over [0,4]: delivered 2 work-units / (4 cores * 4 s).
+	if got := cpu.Utilization(0, 0); math.Abs(got-2.0/16) > 1e-9 {
+		t.Errorf("Utilization = %v, want 0.125", got)
+	}
+}
+
+func TestSharedResourceSaturatedUtilizationIs100(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 2)
+	for i := 0; i < 8; i++ {
+		cpu.Add(1, 1, func() {})
+	}
+	e.Run(4) // 8 units of work at capped rate 2 -> busy exactly [0,4]
+	if got := cpu.Utilization(0, 0); math.Abs(got-1) > 1e-9 {
+		t.Errorf("saturated utilization = %v, want 1", got)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	dists := []Dist{
+		Deterministic{V: 2},
+		Exponential{MeanV: 0.5},
+		Uniform{Low: 1, High: 3},
+		LogNormal{MeanV: 1.5, CV: 0.4},
+		TruncNormal{MeanV: 2, StdDev: 0.5},
+	}
+	for _, d := range dists {
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			v := d.Sample(r)
+			if v < 0 {
+				t.Fatalf("%T sampled negative %v", d, v)
+			}
+			sum += v
+		}
+		got := sum / float64(n)
+		if math.Abs(got-d.Mean())/d.Mean() > 0.05 {
+			t.Errorf("%T empirical mean %v, want %v", d, got, d.Mean())
+		}
+	}
+}
+
+func TestLogNormalZeroCV(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	d := LogNormal{MeanV: 2, CV: 0}
+	if d.Sample(r) != 2 {
+		t.Error("CV=0 should be deterministic")
+	}
+}

@@ -1,0 +1,113 @@
+package sim
+
+// Pool is a bounded thread pool with a FIFO wait queue — the model for the
+// HTTP, Download, Extract and Simsearch pools of Table II. It accounts for
+// busy-slot time so monitors can report "thread pool busy time" exactly as
+// Figures 9f/9g/10c/10d do.
+type Pool struct {
+	eng   *Engine
+	name  string
+	size  int
+	busy  int
+	queue []func()
+
+	lastT     float64
+	busyInt   float64 // ∫ busy(t) dt
+	queueInt  float64 // ∫ queueLen(t) dt
+	grants    int64
+	maxQueued int
+}
+
+// NewPool creates a pool of size slots on the engine.
+func NewPool(eng *Engine, name string, size int) *Pool {
+	if size < 1 {
+		panic("sim: pool size must be >= 1")
+	}
+	return &Pool{eng: eng, name: name, size: size, lastT: eng.Now()}
+}
+
+// Name returns the pool's name.
+func (p *Pool) Name() string { return p.name }
+
+// Size returns the number of slots (the thread-pool size).
+func (p *Pool) Size() int { return p.size }
+
+// Busy returns the number of currently held slots.
+func (p *Pool) Busy() int { return p.busy }
+
+// Queued returns the number of waiting requests.
+func (p *Pool) Queued() int { return len(p.queue) }
+
+// Grants returns how many acquisitions have been granted so far.
+func (p *Pool) Grants() int64 { return p.grants }
+
+// Request asks for a slot; fn runs (at the current or a later simulation
+// instant) once a slot is granted. The holder must call Release exactly once.
+func (p *Pool) Request(fn func()) {
+	p.account()
+	if p.busy < p.size {
+		p.busy++
+		p.grants++
+		// Run via the calendar so grant ordering is deterministic and
+		// callers never observe re-entrant callbacks.
+		p.eng.Schedule(0, fn)
+		return
+	}
+	p.queue = append(p.queue, fn)
+	if len(p.queue) > p.maxQueued {
+		p.maxQueued = len(p.queue)
+	}
+}
+
+// Release returns a slot, handing it to the oldest waiter if any.
+func (p *Pool) Release() {
+	p.account()
+	if p.busy <= 0 {
+		panic("sim: Release on idle pool " + p.name)
+	}
+	if len(p.queue) > 0 {
+		fn := p.queue[0]
+		p.queue = p.queue[1:]
+		p.grants++
+		p.eng.Schedule(0, fn)
+		return // slot transfers directly to the waiter
+	}
+	p.busy--
+}
+
+// account integrates busy and queue time up to the current instant.
+func (p *Pool) account() {
+	now := p.eng.Now()
+	dt := now - p.lastT
+	if dt > 0 {
+		p.busyInt += float64(p.busy) * dt
+		p.queueInt += float64(len(p.queue)) * dt
+		p.lastT = now
+	}
+}
+
+// BusyIntegral returns ∫ busy(t) dt up to the current simulation time, in
+// slot-seconds.
+func (p *Pool) BusyIntegral() float64 {
+	p.account()
+	return p.busyInt
+}
+
+// QueueIntegral returns ∫ queueLen(t) dt in request-seconds.
+func (p *Pool) QueueIntegral() float64 {
+	p.account()
+	return p.queueInt
+}
+
+// MaxQueued returns the high-water mark of the wait queue.
+func (p *Pool) MaxQueued() int { return p.maxQueued }
+
+// Utilization returns average busy fraction over [t0, now] given the busy
+// integral recorded at t0.
+func (p *Pool) Utilization(busyIntAtT0, t0 float64) float64 {
+	now := p.eng.Now()
+	if now <= t0 {
+		return 0
+	}
+	return (p.BusyIntegral() - busyIntAtT0) / (float64(p.size) * (now - t0))
+}

@@ -1,0 +1,217 @@
+package sim
+
+import "math"
+
+// SharedResource models a capacity shared among concurrent jobs under
+// (weighted) processor sharing with a configurable aggregate-rate curve.
+//
+// Two instantiations matter for the Pl@ntNet engine model:
+//
+//   - CPU: TotalRate(w) = min(w, cores). Below saturation every job runs at
+//     full speed; beyond it, all CPU-bound work slows proportionally — the
+//     contention that makes extract pools of 8–9 threads hurt simsearch time
+//     in Figure 9.
+//   - GPU: TotalRate(w) = peak * min(w, ksat)/ksat. Aggregate inference
+//     throughput grows until ~ksat concurrent inferences then saturates, so
+//     extra concurrency only inflates per-inference latency — why extract=6
+//     is the response-time minimum and "the extract task time was not
+//     reduced when increasing the extract thread pool size".
+type SharedResource struct {
+	eng *Engine
+	// TotalRate maps the active weight sum to delivered aggregate rate
+	// (work units per second). Must be positive for positive weight.
+	TotalRate func(activeWeight float64) float64
+	// MaxRate is the rate used as the denominator for utilization
+	// accounting (e.g. number of cores).
+	MaxRate float64
+
+	jobs    map[int64]*sharedJob
+	holds   float64 // weight of persistent loads (see Hold)
+	nextID  int64
+	nextEv  *Event
+	lastT   float64
+	workInt float64 // ∫ delivered rate dt (work-seconds, for utilization)
+}
+
+type sharedJob struct {
+	remaining float64
+	weight    float64
+	rate      float64
+	onDone    func()
+}
+
+// NewSharedResource builds a shared resource on the engine.
+func NewSharedResource(eng *Engine, maxRate float64, totalRate func(float64) float64) *SharedResource {
+	return &SharedResource{
+		eng:       eng,
+		TotalRate: totalRate,
+		MaxRate:   maxRate,
+		jobs:      make(map[int64]*sharedJob),
+		lastT:     eng.Now(),
+	}
+}
+
+// NewCPU returns a processor-sharing CPU with the given core count.
+func NewCPU(eng *Engine, cores float64) *SharedResource {
+	return NewSharedResource(eng, cores, func(w float64) float64 { return math.Min(w, cores) })
+}
+
+// NewGPU returns a GPU whose aggregate throughput saturates at ksat
+// concurrent unit-weight jobs, with peak aggregate rate peak.
+func NewGPU(eng *Engine, peak float64, ksat float64) *SharedResource {
+	return NewSharedResource(eng, peak, func(w float64) float64 {
+		if w <= 0 {
+			return 0
+		}
+		return peak * math.Min(w, ksat) / ksat
+	})
+}
+
+// Add submits a job with the given amount of work and weight; onDone fires
+// when the work completes. Returns a cancel function that aborts the job
+// (used for failure injection in tests).
+func (s *SharedResource) Add(work, weight float64, onDone func()) (cancel func()) {
+	if work <= 0 {
+		// Zero-length jobs complete immediately (via the calendar for
+		// deterministic ordering).
+		s.eng.Schedule(0, onDone)
+		return func() {}
+	}
+	if weight <= 0 {
+		panic("sim: job weight must be positive")
+	}
+	s.advance()
+	id := s.nextID
+	s.nextID++
+	s.jobs[id] = &sharedJob{remaining: work, weight: weight, onDone: onDone}
+	s.reschedule()
+	return func() {
+		if _, ok := s.jobs[id]; !ok {
+			return
+		}
+		s.advance()
+		delete(s.jobs, id)
+		s.reschedule()
+	}
+}
+
+// Hold adds a persistent load of the given weight: it consumes capacity
+// (slowing completing jobs under contention) without ever finishing — the
+// model for busy-polling worker threads or background daemons. The returned
+// function removes the load; calling it twice is a no-op.
+func (s *SharedResource) Hold(weight float64) (release func()) {
+	if weight <= 0 {
+		return func() {}
+	}
+	s.advance()
+	s.holds += weight
+	s.reschedule()
+	released := false
+	return func() {
+		if released {
+			return
+		}
+		released = true
+		s.advance()
+		s.holds -= weight
+		if s.holds < 0 {
+			s.holds = 0
+		}
+		s.reschedule()
+	}
+}
+
+// ActiveWeight returns the current total weight of running jobs plus holds.
+func (s *SharedResource) ActiveWeight() float64 {
+	w := s.holds
+	for _, j := range s.jobs {
+		w += j.weight
+	}
+	return w
+}
+
+// ActiveJobs returns the number of running jobs.
+func (s *SharedResource) ActiveJobs() int { return len(s.jobs) }
+
+// WorkIntegral returns ∫ delivered-rate dt up to now (work-seconds).
+func (s *SharedResource) WorkIntegral() float64 {
+	s.advance()
+	s.reschedule()
+	return s.workInt
+}
+
+// Utilization returns the average delivered rate over [t0, now] as a
+// fraction of MaxRate, given the work integral observed at t0. This is what
+// the monitoring manager samples as "CPU usage %".
+func (s *SharedResource) Utilization(workIntAtT0, t0 float64) float64 {
+	now := s.eng.Now()
+	if now <= t0 || s.MaxRate <= 0 {
+		return 0
+	}
+	return (s.WorkIntegral() - workIntAtT0) / (s.MaxRate * (now - t0))
+}
+
+// advance applies elapsed time to every running job at its current rate and
+// fires completions that are (numerically) due.
+func (s *SharedResource) advance() {
+	now := s.eng.Now()
+	dt := now - s.lastT
+	if dt <= 0 {
+		return
+	}
+	s.lastT = now
+	w := s.ActiveWeight()
+	if w <= 0 {
+		return
+	}
+	total := s.TotalRate(w)
+	s.workInt += total * dt
+	const eps = 1e-12
+	var done []func()
+	for id, j := range s.jobs {
+		j.rate = j.weight * total / w
+		j.remaining -= j.rate * dt
+		if j.remaining <= eps {
+			done = append(done, j.onDone)
+			delete(s.jobs, id)
+		}
+	}
+	for _, fn := range done {
+		s.eng.Schedule(0, fn)
+	}
+	if len(done) > 0 {
+		// Rates changed for the survivors; their remaining work was already
+		// decremented at the old (slower) rate for this slice, which is the
+		// correct PS semantics.
+		w = s.ActiveWeight()
+	}
+}
+
+// reschedule recomputes the next completion event.
+func (s *SharedResource) reschedule() {
+	if s.nextEv != nil {
+		s.nextEv.Cancel()
+		s.nextEv = nil
+	}
+	if len(s.jobs) == 0 {
+		return // holds alone never complete; nothing to schedule
+	}
+	w := s.ActiveWeight()
+	total := s.TotalRate(w)
+	if total <= 0 {
+		return
+	}
+	soonest := math.Inf(1)
+	for _, j := range s.jobs {
+		rate := j.weight * total / w
+		t := j.remaining / rate
+		if t < soonest {
+			soonest = t
+		}
+	}
+	s.nextEv = s.eng.Schedule(soonest, func() {
+		s.nextEv = nil
+		s.advance()
+		s.reschedule()
+	})
+}

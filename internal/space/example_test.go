@@ -1,0 +1,32 @@
+package space_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/space"
+)
+
+// Defining the paper's Equation 2 problem and inspecting it.
+func ExamplePlantNetProblem() {
+	p := space.PlantNetProblem()
+	fmt.Println(p.Name, p.Objectives[0].Mode, p.Objectives[0].Name)
+	fmt.Println(p.Space.Format([]float64{40, 40, 40, 7}))
+	// Output:
+	// plantnet_engine min user_resp_time
+	// http=40 download=40 simsearch=40 extract=7
+}
+
+// Building a custom search space with mixed dimension types.
+func ExampleNew() {
+	s := space.New(
+		space.Int("workers", 1, 64),
+		space.LogFloat("learning_rate", 1e-4, 1e-1),
+		space.Categorical("estimator", "ET", "RF", "GBRT"),
+	)
+	x := s.FromUnit([]float64{0.5, 0.5, 0.9})
+	fmt.Println(s.Format(x))
+	fmt.Println(s.Contains(x))
+	// Output:
+	// workers=33 learning_rate=0.003162 estimator=GBRT
+	// true
+}

@@ -1,0 +1,322 @@
+// Package space defines optimization search spaces: the optimization
+// variables x of Equation 1 in the paper, their bounds, and the constraints a
+// candidate configuration must satisfy.
+//
+// A Space is an ordered list of dimensions (integer, float, or categorical).
+// Points are represented as []float64 vectors in "value space"; categorical
+// dimensions store the category index. Every dimension maps to and from the
+// unit interval so that samplers (package sample) and surrogate models
+// (package surrogate) can work in the unit hypercube.
+package space
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind discriminates dimension types.
+type Kind int
+
+const (
+	// FloatKind is a continuous dimension on [Low, High].
+	FloatKind Kind = iota
+	// IntKind is an integer dimension on [Low, High] inclusive.
+	IntKind
+	// CategoricalKind is an unordered finite set of choices.
+	CategoricalKind
+)
+
+func (k Kind) String() string {
+	switch k {
+	case FloatKind:
+		return "float"
+	case IntKind:
+		return "int"
+	case CategoricalKind:
+		return "categorical"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Dimension is a single optimization variable with bounds (the
+// "bounds on variables" row of Equation 1).
+type Dimension struct {
+	Name       string
+	Kind       Kind
+	Low, High  float64  // numeric bounds; for IntKind these are integers
+	Categories []string // CategoricalKind only
+	Log        bool     // sample on a log10 scale (numeric kinds only)
+}
+
+// Float returns a continuous dimension on [low, high].
+func Float(name string, low, high float64) Dimension {
+	return Dimension{Name: name, Kind: FloatKind, Low: low, High: high}
+}
+
+// LogFloat returns a continuous dimension sampled uniformly in log10 space.
+func LogFloat(name string, low, high float64) Dimension {
+	return Dimension{Name: name, Kind: FloatKind, Low: low, High: high, Log: true}
+}
+
+// Int returns an integer dimension on [low, high] inclusive. This is the
+// tune.randint(low, high) of Listing 1, except that — following the paper's
+// stated bounds "20 <= x <= 60" — both endpoints are inclusive.
+func Int(name string, low, high int) Dimension {
+	return Dimension{Name: name, Kind: IntKind, Low: float64(low), High: float64(high)}
+}
+
+// Categorical returns a categorical dimension over the given choices.
+func Categorical(name string, choices ...string) Dimension {
+	return Dimension{Name: name, Kind: CategoricalKind, Categories: choices, High: float64(len(choices) - 1)}
+}
+
+// Validate reports whether the dimension is well formed.
+func (d Dimension) Validate() error {
+	if d.Name == "" {
+		return fmt.Errorf("space: dimension has empty name")
+	}
+	switch d.Kind {
+	case FloatKind, IntKind:
+		if !(d.Low < d.High) {
+			return fmt.Errorf("space: dimension %q: low %v must be < high %v", d.Name, d.Low, d.High)
+		}
+		if d.Kind == IntKind && (d.Low != math.Trunc(d.Low) || d.High != math.Trunc(d.High)) {
+			return fmt.Errorf("space: int dimension %q has non-integer bounds [%v, %v]", d.Name, d.Low, d.High)
+		}
+		if d.Log && d.Low <= 0 {
+			return fmt.Errorf("space: log dimension %q requires low > 0, got %v", d.Name, d.Low)
+		}
+	case CategoricalKind:
+		if len(d.Categories) < 2 {
+			return fmt.Errorf("space: categorical dimension %q needs >= 2 categories", d.Name)
+		}
+	default:
+		return fmt.Errorf("space: dimension %q has unknown kind %d", d.Name, int(d.Kind))
+	}
+	return nil
+}
+
+// FromUnit maps u in [0,1] to a value of this dimension.
+func (d Dimension) FromUnit(u float64) float64 {
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	switch d.Kind {
+	case FloatKind:
+		if d.Log {
+			lo, hi := math.Log10(d.Low), math.Log10(d.High)
+			return math.Pow(10, lo+u*(hi-lo))
+		}
+		return d.Low + u*(d.High-d.Low)
+	case IntKind:
+		// Partition [0,1] into equal cells, one per integer, so every
+		// integer value has identical probability mass.
+		n := d.High - d.Low + 1
+		v := d.Low + math.Floor(u*n)
+		if v > d.High {
+			v = d.High
+		}
+		return v
+	case CategoricalKind:
+		n := float64(len(d.Categories))
+		v := math.Floor(u * n)
+		if v > n-1 {
+			v = n - 1
+		}
+		return v
+	}
+	return math.NaN()
+}
+
+// ToUnit maps a dimension value back to [0,1]. It is the pseudo-inverse of
+// FromUnit: for integer and categorical kinds it returns the cell midpoint.
+func (d Dimension) ToUnit(v float64) float64 {
+	switch d.Kind {
+	case FloatKind:
+		if d.Log {
+			lo, hi := math.Log10(d.Low), math.Log10(d.High)
+			return clamp01((math.Log10(v) - lo) / (hi - lo))
+		}
+		return clamp01((v - d.Low) / (d.High - d.Low))
+	case IntKind:
+		n := d.High - d.Low + 1
+		return clamp01((v - d.Low + 0.5) / n)
+	case CategoricalKind:
+		n := float64(len(d.Categories))
+		return clamp01((v + 0.5) / n)
+	}
+	return math.NaN()
+}
+
+// Clip snaps a raw value onto the dimension's domain (rounding integers,
+// clamping to bounds).
+func (d Dimension) Clip(v float64) float64 {
+	switch d.Kind {
+	case IntKind:
+		v = math.Round(v)
+	case CategoricalKind:
+		v = math.Round(v)
+		if v < 0 {
+			v = 0
+		}
+		if v > float64(len(d.Categories)-1) {
+			v = float64(len(d.Categories) - 1)
+		}
+		return v
+	}
+	if v < d.Low {
+		v = d.Low
+	}
+	if v > d.High {
+		v = d.High
+	}
+	return v
+}
+
+// Contains reports whether v is a valid value of the dimension.
+func (d Dimension) Contains(v float64) bool {
+	switch d.Kind {
+	case FloatKind:
+		return v >= d.Low && v <= d.High
+	case IntKind:
+		return v >= d.Low && v <= d.High && v == math.Round(v)
+	case CategoricalKind:
+		return v >= 0 && v < float64(len(d.Categories)) && v == math.Round(v)
+	}
+	return false
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// Space is an ordered collection of dimensions: the search space of an
+// optimization problem.
+type Space struct {
+	dims  []Dimension
+	index map[string]int
+}
+
+// New builds a Space from dimensions. It panics on invalid or duplicate
+// dimensions; spaces are built from literals at program start, so an error
+// here is a programming bug.
+func New(dims ...Dimension) *Space {
+	s, err := TryNew(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TryNew is New returning an error instead of panicking.
+func TryNew(dims ...Dimension) (*Space, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("space: empty space")
+	}
+	idx := make(map[string]int, len(dims))
+	for i, d := range dims {
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		if _, dup := idx[d.Name]; dup {
+			return nil, fmt.Errorf("space: duplicate dimension name %q", d.Name)
+		}
+		idx[d.Name] = i
+	}
+	return &Space{dims: append([]Dimension(nil), dims...), index: idx}, nil
+}
+
+// Len returns the number of dimensions.
+func (s *Space) Len() int { return len(s.dims) }
+
+// Dim returns the i-th dimension.
+func (s *Space) Dim(i int) Dimension { return s.dims[i] }
+
+// Dims returns a copy of the dimension list.
+func (s *Space) Dims() []Dimension { return append([]Dimension(nil), s.dims...) }
+
+// IndexOf returns the position of the named dimension, or -1.
+func (s *Space) IndexOf(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		return -1
+	}
+	return i
+}
+
+// FromUnit maps a unit-cube point to value space.
+func (s *Space) FromUnit(u []float64) []float64 {
+	x := make([]float64, len(s.dims))
+	for i, d := range s.dims {
+		x[i] = d.FromUnit(u[i])
+	}
+	return x
+}
+
+// ToUnit maps a value-space point to the unit cube.
+func (s *Space) ToUnit(x []float64) []float64 {
+	u := make([]float64, len(s.dims))
+	for i, d := range s.dims {
+		u[i] = d.ToUnit(x[i])
+	}
+	return u
+}
+
+// Clip snaps x onto the space in place and returns it.
+func (s *Space) Clip(x []float64) []float64 {
+	for i, d := range s.dims {
+		x[i] = d.Clip(x[i])
+	}
+	return x
+}
+
+// Contains reports whether x is a valid point of the space.
+func (s *Space) Contains(x []float64) bool {
+	if len(x) != len(s.dims) {
+		return false
+	}
+	for i, d := range s.dims {
+		if !d.Contains(x[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Map renders a point as a name->value map (categoricals keep their index).
+func (s *Space) Map(x []float64) map[string]float64 {
+	m := make(map[string]float64, len(s.dims))
+	for i, d := range s.dims {
+		m[d.Name] = x[i]
+	}
+	return m
+}
+
+// Format renders a point compactly, e.g. "http=54 download=54 extract=7".
+func (s *Space) Format(x []float64) string {
+	var b strings.Builder
+	for i, d := range s.dims {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch d.Kind {
+		case IntKind:
+			fmt.Fprintf(&b, "%s=%d", d.Name, int(x[i]))
+		case CategoricalKind:
+			fmt.Fprintf(&b, "%s=%s", d.Name, d.Categories[int(x[i])])
+		default:
+			fmt.Fprintf(&b, "%s=%.4g", d.Name, x[i])
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package stats
+
+import "math/rand"
+
+// Reservoir keeps a uniform random sample of a stream (Vitter's algorithm
+// R) so that quantiles of unbounded metric streams — per-request response
+// times over a 23-minute run — can be estimated in bounded memory.
+type Reservoir struct {
+	cap  int
+	n    int64
+	rng  *rand.Rand
+	data []float64
+}
+
+// NewReservoir builds a reservoir of the given capacity (minimum 1).
+func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	return &Reservoir{cap: capacity, rng: rng, data: make([]float64, 0, capacity)}
+}
+
+// Add observes one value.
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.data) < r.cap {
+		r.data = append(r.data, v)
+		return
+	}
+	if j := r.rng.Int63n(r.n); j < int64(r.cap) {
+		r.data[j] = v
+	}
+}
+
+// N returns how many values were observed (not retained).
+func (r *Reservoir) N() int64 { return r.n }
+
+// Quantile estimates the q-quantile from the retained sample.
+func (r *Reservoir) Quantile(q float64) float64 {
+	return Quantile(r.data, q)
+}
+
+// Values returns a copy of the retained sample.
+func (r *Reservoir) Values() []float64 { return append([]float64(nil), r.data...) }

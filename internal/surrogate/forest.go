@@ -1,0 +1,105 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ForestConfig controls Random Forest / Extra Trees ensembles.
+type ForestConfig struct {
+	NEstimators    int
+	MaxDepth       int
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 means all features (sklearn regression
+	// default).
+	MaxFeatures int
+}
+
+// DefaultForestConfig mirrors skopt's forest defaults (100 estimators,
+// unbounded depth).
+func DefaultForestConfig() ForestConfig {
+	return ForestConfig{NEstimators: 100, MinSamplesLeaf: 1}
+}
+
+// Forest is an ensemble of regression trees. Predictive uncertainty is the
+// across-tree standard deviation, which is how skopt obtains return_std for
+// its 'ET' and 'RF' base estimators.
+type Forest struct {
+	name  string
+	trees []*Tree
+}
+
+// NewRandomForest builds a Breiman Random Forest: bootstrap resampling with
+// exhaustive CART splits.
+func NewRandomForest(cfg ForestConfig, r *rand.Rand) *Forest {
+	return newForest("RF", cfg, r, false, true)
+}
+
+// NewExtraTrees builds an Extremely Randomized Trees ensemble (the paper's
+// base_estimator='ET'): full training set per tree, random split thresholds.
+func NewExtraTrees(cfg ForestConfig, r *rand.Rand) *Forest {
+	return newForest("ET", cfg, r, true, false)
+}
+
+func newForest(name string, cfg ForestConfig, r *rand.Rand, randomThresholds, bootstrap bool) *Forest {
+	if r == nil {
+		r = rand.New(rand.NewSource(1))
+	}
+	if cfg.NEstimators <= 0 {
+		cfg.NEstimators = 100
+	}
+	f := &Forest{name: name}
+	for i := 0; i < cfg.NEstimators; i++ {
+		tc := TreeConfig{
+			MaxDepth:         cfg.MaxDepth,
+			MinSamplesLeaf:   cfg.MinSamplesLeaf,
+			MaxFeatures:      cfg.MaxFeatures,
+			RandomThresholds: randomThresholds,
+			Bootstrap:        bootstrap,
+		}
+		f.trees = append(f.trees, NewTree(tc, rand.New(rand.NewSource(r.Int63()))))
+	}
+	return f
+}
+
+// Name implements Model.
+func (f *Forest) Name() string { return f.name }
+
+// Fit implements Model.
+func (f *Forest) Fit(X [][]float64, y []float64) error {
+	for _, t := range f.trees {
+		if err := t.Fit(X, y); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Predict implements Model.
+func (f *Forest) Predict(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// PredictWithStd implements Model: mean and standard deviation across trees.
+func (f *Forest) PredictWithStd(x []float64) (float64, float64) {
+	n := float64(len(f.trees))
+	var sum, sumSq float64
+	for _, t := range f.trees {
+		p := t.Predict(x)
+		sum += p
+		sumSq += p * p
+	}
+	m := sum / n
+	v := sumSq/n - m*m
+	if v < 0 {
+		v = 0
+	}
+	return m, math.Sqrt(v)
+}
+
+// NTrees returns the ensemble size.
+func (f *Forest) NTrees() int { return len(f.trees) }

@@ -1,0 +1,197 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"e2clab/internal/linalg"
+)
+
+// Kernel is a stationary covariance function over unit-cube inputs.
+type Kernel interface {
+	// Eval returns k(a, b) for the given length scale.
+	Eval(a, b []float64, lengthScale float64) float64
+	Name() string
+}
+
+// RBF is the squared-exponential kernel.
+type RBF struct{}
+
+// Eval implements Kernel.
+func (RBF) Eval(a, b []float64, ls float64) float64 {
+	return math.Exp(-0.5 * sqDist(a, b) / (ls * ls))
+}
+
+// Name implements Kernel.
+func (RBF) Name() string { return "rbf" }
+
+// Matern32 is the Matérn kernel with ν = 3/2.
+type Matern32 struct{}
+
+// Eval implements Kernel.
+func (Matern32) Eval(a, b []float64, ls float64) float64 {
+	d := math.Sqrt(sqDist(a, b)) / ls
+	s := math.Sqrt(3) * d
+	return (1 + s) * math.Exp(-s)
+}
+
+// Name implements Kernel.
+func (Matern32) Name() string { return "matern32" }
+
+// Matern52 is the Matérn kernel with ν = 5/2 (skopt's GP default).
+type Matern52 struct{}
+
+// Eval implements Kernel.
+func (Matern52) Eval(a, b []float64, ls float64) float64 {
+	d := math.Sqrt(sqDist(a, b)) / ls
+	s := math.Sqrt(5) * d
+	return (1 + s + 5*d*d/3) * math.Exp(-s)
+}
+
+// Name implements Kernel.
+func (Matern52) Name() string { return "matern52" }
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// GPConfig controls the Gaussian-process (Kriging) surrogate.
+type GPConfig struct {
+	Kernel Kernel
+	// Noise is the diagonal jitter / observation noise variance (alpha).
+	Noise float64
+	// LengthScales is the grid searched when fitting by maximizing the log
+	// marginal likelihood; empty uses a default log-spaced grid.
+	LengthScales []float64
+}
+
+// DefaultGPConfig uses a Matérn 5/2 kernel, matching skopt.
+func DefaultGPConfig() GPConfig {
+	return GPConfig{Kernel: Matern52{}, Noise: 1e-6}
+}
+
+// GP is Gaussian-process regression ("Kriging models for global
+// approximation"). Targets are internally standardized; the length scale is
+// selected by grid-search maximum marginal likelihood, which is robust and
+// derivative-free (stdlib-only constraint).
+type GP struct {
+	cfg   GPConfig
+	X     [][]float64
+	alpha []float64 // K⁻¹ (y - μ)
+	chol  *linalg.Cholesky
+	yMean float64
+	yStd  float64
+	ls    float64
+	ok    bool
+}
+
+// NewGP returns an untrained GP.
+func NewGP(cfg GPConfig) *GP {
+	if cfg.Kernel == nil {
+		cfg.Kernel = Matern52{}
+	}
+	if cfg.Noise <= 0 {
+		cfg.Noise = 1e-6
+	}
+	return &GP{cfg: cfg}
+}
+
+// Name implements Model.
+func (g *GP) Name() string { return "GP" }
+
+// Fit implements Model.
+func (g *GP) Fit(X [][]float64, y []float64) error {
+	n, _, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	g.X = X
+	g.yMean = mean(y)
+	var varSum float64
+	for _, v := range y {
+		d := v - g.yMean
+		varSum += d * d
+	}
+	g.yStd = math.Sqrt(varSum / float64(n))
+	if g.yStd < 1e-12 {
+		g.yStd = 1 // constant targets: predict the mean with unit scaling
+	}
+	z := make([]float64, n)
+	for i, v := range y {
+		z[i] = (v - g.yMean) / g.yStd
+	}
+
+	grid := g.cfg.LengthScales
+	if len(grid) == 0 {
+		grid = []float64{0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 3.2}
+	}
+	bestLL := math.Inf(-1)
+	var bestChol *linalg.Cholesky
+	var bestAlpha []float64
+	for _, ls := range grid {
+		k := g.gram(X, ls)
+		ch, err := linalg.NewCholesky(k)
+		if err != nil {
+			continue
+		}
+		a := ch.Solve(z)
+		// log marginal likelihood = -0.5 zᵀα - 0.5 log|K| - n/2 log 2π
+		ll := -0.5*linalg.Dot(z, a) - 0.5*ch.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+		if ll > bestLL {
+			bestLL, bestChol, bestAlpha, g.ls = ll, ch, a, ls
+		}
+	}
+	if bestChol == nil {
+		return fmt.Errorf("surrogate: GP fit failed for all length scales (n=%d)", n)
+	}
+	g.chol, g.alpha, g.ok = bestChol, bestAlpha, true
+	return nil
+}
+
+// gram builds K + noise*I.
+func (g *GP) gram(X [][]float64, ls float64) *linalg.Matrix {
+	n := len(X)
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := g.cfg.Kernel.Eval(X[i], X[j], ls)
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+g.cfg.Noise)
+	}
+	return k
+}
+
+// Predict implements Model.
+func (g *GP) Predict(x []float64) float64 {
+	m, _ := g.PredictWithStd(x)
+	return m
+}
+
+// PredictWithStd implements Model: standard GP posterior mean and std.
+func (g *GP) PredictWithStd(x []float64) (float64, float64) {
+	if !g.ok {
+		return 0, 0
+	}
+	n := len(g.X)
+	ks := make([]float64, n)
+	for i := range g.X {
+		ks[i] = g.cfg.Kernel.Eval(x, g.X[i], g.ls)
+	}
+	zMean := linalg.Dot(ks, g.alpha)
+	v := g.chol.SolveVecL(ks)
+	variance := g.cfg.Kernel.Eval(x, x, g.ls) - linalg.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return g.yMean + g.yStd*zMean, g.yStd * math.Sqrt(variance)
+}
+
+// LengthScale returns the fitted length scale (for tests/diagnostics).
+func (g *GP) LengthScale() float64 { return g.ls }

@@ -1,0 +1,99 @@
+package surrogate
+
+import (
+	"math"
+	"sort"
+)
+
+// KNNConfig controls the k-nearest-neighbors surrogate.
+type KNNConfig struct {
+	// K is the neighborhood size (default 5, clamped to the training size).
+	K int
+	// Weighted enables inverse-distance weighting (default true behaviour
+	// is uniform when false).
+	Weighted bool
+}
+
+// DefaultKNNConfig returns distance-weighted 5-NN.
+func DefaultKNNConfig() KNNConfig { return KNNConfig{K: 5, Weighted: true} }
+
+// KNN is k-nearest-neighbors regression — the simplest non-parametric
+// surrogate, useful as a sanity baseline against the tree and GP families.
+// Predictive std is the (weighted) standard deviation of the neighborhood
+// targets: small in well-sampled flat regions, large near conflicting
+// observations.
+type KNN struct {
+	cfg KNNConfig
+	X   [][]float64
+	y   []float64
+}
+
+// NewKNN returns an untrained KNN model.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 5
+	}
+	return &KNN{cfg: cfg}
+}
+
+// Name implements Model.
+func (k *KNN) Name() string { return "KNN" }
+
+// Fit implements Model (lazy learner: it stores the data).
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if _, _, err := validate(X, y); err != nil {
+		return err
+	}
+	k.X = X
+	k.y = y
+	return nil
+}
+
+// Predict implements Model.
+func (k *KNN) Predict(x []float64) float64 {
+	m, _ := k.PredictWithStd(x)
+	return m
+}
+
+// PredictWithStd implements Model.
+func (k *KNN) PredictWithStd(x []float64) (float64, float64) {
+	if len(k.X) == 0 {
+		return 0, 0
+	}
+	type neigh struct {
+		d2 float64
+		y  float64
+	}
+	ns := make([]neigh, len(k.X))
+	for i, xi := range k.X {
+		ns[i] = neigh{d2: sqDist(x, xi), y: k.y[i]}
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].d2 < ns[b].d2 })
+	kk := k.cfg.K
+	if kk > len(ns) {
+		kk = len(ns)
+	}
+	ns = ns[:kk]
+	// Exact hit: return its target with zero uncertainty.
+	if ns[0].d2 == 0 && !k.cfg.Weighted {
+		return ns[0].y, 0
+	}
+	var wSum, mean float64
+	ws := make([]float64, kk)
+	for i, n := range ns {
+		w := 1.0
+		if k.cfg.Weighted {
+			w = 1 / (math.Sqrt(n.d2) + 1e-9)
+		}
+		ws[i] = w
+		wSum += w
+		mean += w * n.y
+	}
+	mean /= wSum
+	var varSum float64
+	for i, n := range ns {
+		d := n.y - mean
+		varSum += ws[i] * d * d
+	}
+	return mean, math.Sqrt(varSum / wSum)
+}

@@ -1,0 +1,202 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"e2clab/internal/linalg"
+)
+
+// Polynomial is polynomial regression ("Modelling using polynomial
+// regression"): a least-squares fit on a degree-d feature expansion with all
+// monomials and pairwise interaction terms (degree <= 2) or pure powers
+// (degree > 2). Predictive std is the training-residual std.
+type Polynomial struct {
+	degree      int
+	coef        []float64
+	dims        int
+	residualStd float64
+}
+
+// NewPolynomial returns an untrained polynomial model of the given degree
+// (>= 1).
+func NewPolynomial(degree int) *Polynomial {
+	if degree < 1 {
+		degree = 1
+	}
+	return &Polynomial{degree: degree}
+}
+
+// Name implements Model.
+func (p *Polynomial) Name() string { return fmt.Sprintf("POLY%d", p.degree) }
+
+// expand maps x to its feature vector: 1, x_i, then for degree 2 all
+// products x_i x_j (i<=j), and for higher degrees pure powers x_i^k.
+func (p *Polynomial) expand(x []float64) []float64 {
+	f := make([]float64, 0, 1+len(x)*p.degree+len(x)*(len(x)+1)/2)
+	f = append(f, 1)
+	f = append(f, x...)
+	if p.degree >= 2 {
+		for i := 0; i < len(x); i++ {
+			for j := i; j < len(x); j++ {
+				f = append(f, x[i]*x[j])
+			}
+		}
+	}
+	for k := 3; k <= p.degree; k++ {
+		for _, v := range x {
+			f = append(f, math.Pow(v, float64(k)))
+		}
+	}
+	return f
+}
+
+// Fit implements Model.
+func (p *Polynomial) Fit(X [][]float64, y []float64) error {
+	n, d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	p.dims = d
+	rows := make([][]float64, n)
+	for i, x := range X {
+		rows[i] = p.expand(x)
+	}
+	nf := len(rows[0])
+	if n < nf {
+		// Not enough data for the full expansion: fall back to ridge via
+		// normal equations with regularization.
+		a := linalg.FromRows(rows)
+		at := a.T()
+		ata := at.Mul(a)
+		for i := 0; i < nf; i++ {
+			ata.Set(i, i, ata.At(i, i)+1e-6)
+		}
+		atb := at.MulVec(y)
+		ch, err := linalg.NewCholesky(ata)
+		if err != nil {
+			return fmt.Errorf("surrogate: polynomial ridge fit: %w", err)
+		}
+		p.coef = ch.Solve(atb)
+	} else {
+		coef, err := linalg.LeastSquares(linalg.FromRows(rows), y)
+		if err != nil {
+			return err
+		}
+		p.coef = coef
+	}
+	var sse float64
+	for i := range X {
+		r := y[i] - p.Predict(X[i])
+		sse += r * r
+	}
+	p.residualStd = math.Sqrt(sse / float64(n))
+	return nil
+}
+
+// Predict implements Model.
+func (p *Polynomial) Predict(x []float64) float64 {
+	if p.coef == nil {
+		return 0
+	}
+	return linalg.Dot(p.expand(x), p.coef)
+}
+
+// PredictWithStd implements Model.
+func (p *Polynomial) PredictWithStd(x []float64) (float64, float64) {
+	return p.Predict(x), p.residualStd
+}
+
+// LSSVMConfig controls the least-squares SVM surrogate.
+type LSSVMConfig struct {
+	// Gamma is the RBF kernel width parameter exp(-gamma ||a-b||²).
+	Gamma float64
+	// C is the regularization constant (larger fits tighter).
+	C float64
+}
+
+// DefaultLSSVMConfig provides moderate defaults for unit-cube inputs.
+func DefaultLSSVMConfig() LSSVMConfig { return LSSVMConfig{Gamma: 2, C: 100} }
+
+// LSSVM is a least-squares support vector machine for regression (Suykens'
+// LS-SVM): the SVM-family surrogate the paper lists, with the hinge loss
+// replaced by squared loss so the dual reduces to a linear system solvable
+// with the in-repo Cholesky. Predictive std is the training-residual std.
+type LSSVM struct {
+	cfg         LSSVMConfig
+	X           [][]float64
+	alpha       []float64
+	bias        float64
+	residualStd float64
+}
+
+// NewLSSVM returns an untrained LS-SVM.
+func NewLSSVM(cfg LSSVMConfig) *LSSVM {
+	if cfg.Gamma <= 0 {
+		cfg.Gamma = 2
+	}
+	if cfg.C <= 0 {
+		cfg.C = 100
+	}
+	return &LSSVM{cfg: cfg}
+}
+
+// Name implements Model.
+func (s *LSSVM) Name() string { return "LSSVM" }
+
+func (s *LSSVM) kernel(a, b []float64) float64 {
+	return math.Exp(-s.cfg.Gamma * sqDist(a, b))
+}
+
+// Fit implements Model. The LS-SVM dual with bias is solved by centering:
+// we absorb the bias as the target mean and solve (K + I/C) α = y - ȳ.
+func (s *LSSVM) Fit(X [][]float64, y []float64) error {
+	n, _, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	s.X = X
+	s.bias = mean(y)
+	z := make([]float64, n)
+	for i, v := range y {
+		z[i] = v - s.bias
+	}
+	k := linalg.NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			v := s.kernel(X[i], X[j])
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+		k.Set(i, i, k.At(i, i)+1/s.cfg.C)
+	}
+	ch, err := linalg.NewCholesky(k)
+	if err != nil {
+		return fmt.Errorf("surrogate: LSSVM fit: %w", err)
+	}
+	s.alpha = ch.Solve(z)
+	var sse float64
+	for i := range X {
+		r := y[i] - s.Predict(X[i])
+		sse += r * r
+	}
+	s.residualStd = math.Sqrt(sse / float64(n))
+	return nil
+}
+
+// Predict implements Model.
+func (s *LSSVM) Predict(x []float64) float64 {
+	if s.alpha == nil {
+		return 0
+	}
+	v := s.bias
+	for i, xi := range s.X {
+		v += s.alpha[i] * s.kernel(x, xi)
+	}
+	return v
+}
+
+// PredictWithStd implements Model.
+func (s *LSSVM) PredictWithStd(x []float64) (float64, float64) {
+	return s.Predict(x), s.residualStd
+}

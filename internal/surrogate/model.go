@@ -1,0 +1,84 @@
+// Package surrogate implements the surrogate-model families the paper's
+// Phase II lists for exploring the search space of long-running
+// applications: decision trees, Random Forest, Extra Trees (the paper's
+// choice, Listing 1 base_estimator='ET'), Gradient Boosting Regression
+// Trees, Gaussian process (Kriging), polynomial regression, and a
+// least-squares SVM (kernel ridge) standing in for the SVM family.
+//
+// All models regress y on points in the unit hypercube (package space maps
+// real configurations there) and expose predictive uncertainty so that
+// acquisition functions can trade exploration against exploitation.
+package surrogate
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Model is a trainable regression surrogate.
+type Model interface {
+	// Fit trains on rows X (points in [0,1]^d) and targets y.
+	Fit(X [][]float64, y []float64) error
+	// Predict returns the posterior mean at x.
+	Predict(x []float64) float64
+	// PredictWithStd returns the posterior mean and a standard-deviation
+	// estimate at x. Models without a principled posterior return a
+	// residual-based estimate (documented per model).
+	PredictWithStd(x []float64) (mean, std float64)
+	// Name identifies the model in reproducibility summaries.
+	Name() string
+}
+
+// Factory builds a fresh model; optimizers refit from scratch at every
+// iteration, mirroring skopt.
+type Factory func(r *rand.Rand) Model
+
+// ByName maps the estimator names of skopt ("ET", "RF", "GBRT", "GP") plus
+// this package's extras ("TREE", "POLY", "LSSVM") to factories.
+func ByName(name string) (Factory, error) {
+	switch name {
+	case "ET":
+		return func(r *rand.Rand) Model { return NewExtraTrees(DefaultForestConfig(), r) }, nil
+	case "RF":
+		return func(r *rand.Rand) Model { return NewRandomForest(DefaultForestConfig(), r) }, nil
+	case "GBRT":
+		return func(r *rand.Rand) Model { return NewGBRT(DefaultGBRTConfig(), r) }, nil
+	case "GP":
+		return func(r *rand.Rand) Model { return NewGP(DefaultGPConfig()) }, nil
+	case "TREE":
+		return func(r *rand.Rand) Model { return NewTree(DefaultTreeConfig(), r) }, nil
+	case "POLY":
+		return func(r *rand.Rand) Model { return NewPolynomial(2) }, nil
+	case "LSSVM":
+		return func(r *rand.Rand) Model { return NewLSSVM(DefaultLSSVMConfig()) }, nil
+	case "KNN":
+		return func(r *rand.Rand) Model { return NewKNN(DefaultKNNConfig()) }, nil
+	default:
+		return nil, fmt.Errorf("surrogate: unknown estimator %q", name)
+	}
+}
+
+// validate checks a training set for shape consistency.
+func validate(X [][]float64, y []float64) (n, d int, err error) {
+	if len(X) == 0 || len(X) != len(y) {
+		return 0, 0, fmt.Errorf("surrogate: bad training set: %d rows, %d targets", len(X), len(y))
+	}
+	d = len(X[0])
+	if d == 0 {
+		return 0, 0, fmt.Errorf("surrogate: zero-dimensional inputs")
+	}
+	for i, row := range X {
+		if len(row) != d {
+			return 0, 0, fmt.Errorf("surrogate: ragged row %d: %d cols, want %d", i, len(row), d)
+		}
+	}
+	return len(X), d, nil
+}
+
+func mean(y []float64) float64 {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	return s / float64(len(y))
+}

@@ -1,0 +1,238 @@
+package surrogate
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"e2clab/internal/linalg"
+)
+
+// Model serialization supports the paper's finalize() step: "Saved
+// information refers to intermediate models throughout training and points
+// evaluated". Marshal/Unmarshal round-trip every model family so archived
+// surrogates can be reloaded and queried without retraining.
+
+type modelEnvelope struct {
+	Type   string       `json:"type"`
+	Tree   *treeState   `json:"tree,omitempty"`
+	Forest *forestState `json:"forest,omitempty"`
+	GBRT   *gbrtState   `json:"gbrt,omitempty"`
+	GP     *gpState     `json:"gp,omitempty"`
+	Poly   *polyState   `json:"poly,omitempty"`
+	LSSVM  *lssvmState  `json:"lssvm,omitempty"`
+	KNN    *knnState    `json:"knn,omitempty"`
+}
+
+type treeState struct {
+	Nodes []treeNodeState `json:"nodes"`
+}
+
+type treeNodeState struct {
+	Feature   int     `json:"f"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int     `json:"l,omitempty"`
+	Right     int     `json:"r,omitempty"`
+	Value     float64 `json:"v"`
+	Count     int     `json:"n"`
+}
+
+type forestState struct {
+	Name  string      `json:"name"`
+	Trees []treeState `json:"trees"`
+}
+
+type gbrtState struct {
+	Base        float64     `json:"base"`
+	Rate        float64     `json:"rate"`
+	Stages      []treeState `json:"stages"`
+	ResidualStd float64     `json:"residual_std"`
+}
+
+type gpState struct {
+	Kernel string      `json:"kernel"`
+	Noise  float64     `json:"noise"`
+	X      [][]float64 `json:"x"`
+	Alpha  []float64   `json:"alpha"`
+	L      []float64   `json:"l"` // row-major lower Cholesky factor
+	YMean  float64     `json:"y_mean"`
+	YStd   float64     `json:"y_std"`
+	LS     float64     `json:"length_scale"`
+}
+
+type polyState struct {
+	Degree      int       `json:"degree"`
+	Dims        int       `json:"dims"`
+	Coef        []float64 `json:"coef"`
+	ResidualStd float64   `json:"residual_std"`
+}
+
+type lssvmState struct {
+	Gamma       float64     `json:"gamma"`
+	C           float64     `json:"c"`
+	X           [][]float64 `json:"x"`
+	Alpha       []float64   `json:"alpha"`
+	Bias        float64     `json:"bias"`
+	ResidualStd float64     `json:"residual_std"`
+}
+
+type knnState struct {
+	K        int         `json:"k"`
+	Weighted bool        `json:"weighted"`
+	X        [][]float64 `json:"x"`
+	Y        []float64   `json:"y"`
+}
+
+func treeToState(t *Tree) treeState {
+	s := treeState{Nodes: make([]treeNodeState, len(t.nodes))}
+	for i, n := range t.nodes {
+		s.Nodes[i] = treeNodeState{Feature: n.feature, Threshold: n.threshold,
+			Left: n.left, Right: n.right, Value: n.value, Count: n.count}
+	}
+	return s
+}
+
+func treeFromState(s treeState) *Tree {
+	t := NewTree(DefaultTreeConfig(), nil)
+	t.nodes = make([]treeNode, len(s.Nodes))
+	for i, n := range s.Nodes {
+		t.nodes[i] = treeNode{feature: n.Feature, threshold: n.Threshold,
+			left: n.Left, right: n.Right, value: n.Value, count: n.Count}
+	}
+	return t
+}
+
+// Marshal serializes a fitted model.
+func Marshal(m Model) ([]byte, error) {
+	env := modelEnvelope{}
+	switch v := m.(type) {
+	case *Tree:
+		env.Type = "TREE"
+		st := treeToState(v)
+		env.Tree = &st
+	case *Forest:
+		env.Type = v.name
+		fs := forestState{Name: v.name}
+		for _, t := range v.trees {
+			fs.Trees = append(fs.Trees, treeToState(t))
+		}
+		env.Forest = &fs
+	case *GBRT:
+		env.Type = "GBRT"
+		gs := gbrtState{Base: v.base, Rate: v.cfg.LearningRate, ResidualStd: v.residualStd}
+		for _, t := range v.stages {
+			gs.Stages = append(gs.Stages, treeToState(t))
+		}
+		env.GBRT = &gs
+	case *GP:
+		if !v.ok {
+			return nil, fmt.Errorf("surrogate: cannot marshal unfitted GP")
+		}
+		env.Type = "GP"
+		env.GP = &gpState{Kernel: v.cfg.Kernel.Name(), Noise: v.cfg.Noise,
+			X: v.X, Alpha: v.alpha, L: v.chol.L.Data,
+			YMean: v.yMean, YStd: v.yStd, LS: v.ls}
+	case *Polynomial:
+		env.Type = "POLY"
+		env.Poly = &polyState{Degree: v.degree, Dims: v.dims, Coef: v.coef, ResidualStd: v.residualStd}
+	case *LSSVM:
+		env.Type = "LSSVM"
+		env.LSSVM = &lssvmState{Gamma: v.cfg.Gamma, C: v.cfg.C,
+			X: v.X, Alpha: v.alpha, Bias: v.bias, ResidualStd: v.residualStd}
+	case *KNN:
+		env.Type = "KNN"
+		env.KNN = &knnState{K: v.cfg.K, Weighted: v.cfg.Weighted, X: v.X, Y: v.y}
+	default:
+		return nil, fmt.Errorf("surrogate: cannot marshal %T", m)
+	}
+	return json.Marshal(env)
+}
+
+// Unmarshal reconstructs a model serialized with Marshal.
+func Unmarshal(b []byte) (Model, error) {
+	var env modelEnvelope
+	if err := json.Unmarshal(b, &env); err != nil {
+		return nil, fmt.Errorf("surrogate: %w", err)
+	}
+	switch env.Type {
+	case "TREE":
+		if env.Tree == nil {
+			return nil, fmt.Errorf("surrogate: TREE payload missing")
+		}
+		return treeFromState(*env.Tree), nil
+	case "ET", "RF":
+		if env.Forest == nil {
+			return nil, fmt.Errorf("surrogate: forest payload missing")
+		}
+		f := &Forest{name: env.Forest.Name}
+		for _, ts := range env.Forest.Trees {
+			f.trees = append(f.trees, treeFromState(ts))
+		}
+		return f, nil
+	case "GBRT":
+		if env.GBRT == nil {
+			return nil, fmt.Errorf("surrogate: GBRT payload missing")
+		}
+		g := NewGBRT(GBRTConfig{LearningRate: env.GBRT.Rate}, nil)
+		g.base = env.GBRT.Base
+		g.residualStd = env.GBRT.ResidualStd
+		for _, ts := range env.GBRT.Stages {
+			g.stages = append(g.stages, treeFromState(ts))
+		}
+		return g, nil
+	case "GP":
+		st := env.GP
+		if st == nil {
+			return nil, fmt.Errorf("surrogate: GP payload missing")
+		}
+		var kernel Kernel
+		switch st.Kernel {
+		case "rbf":
+			kernel = RBF{}
+		case "matern32":
+			kernel = Matern32{}
+		case "matern52":
+			kernel = Matern52{}
+		default:
+			return nil, fmt.Errorf("surrogate: unknown kernel %q", st.Kernel)
+		}
+		g := NewGP(GPConfig{Kernel: kernel, Noise: st.Noise})
+		n := len(st.X)
+		if n == 0 || len(st.L) != n*n || len(st.Alpha) != n {
+			return nil, fmt.Errorf("surrogate: GP payload inconsistent (n=%d)", n)
+		}
+		l := linalg.NewMatrix(n, n)
+		copy(l.Data, st.L)
+		g.X = st.X
+		g.alpha = st.Alpha
+		g.chol = &linalg.Cholesky{L: l}
+		g.yMean, g.yStd, g.ls, g.ok = st.YMean, st.YStd, st.LS, true
+		return g, nil
+	case "POLY":
+		if env.Poly == nil {
+			return nil, fmt.Errorf("surrogate: POLY payload missing")
+		}
+		p := NewPolynomial(env.Poly.Degree)
+		p.dims = env.Poly.Dims
+		p.coef = env.Poly.Coef
+		p.residualStd = env.Poly.ResidualStd
+		return p, nil
+	case "LSSVM":
+		st := env.LSSVM
+		if st == nil {
+			return nil, fmt.Errorf("surrogate: LSSVM payload missing")
+		}
+		s := NewLSSVM(LSSVMConfig{Gamma: st.Gamma, C: st.C})
+		s.X, s.alpha, s.bias, s.residualStd = st.X, st.Alpha, st.Bias, st.ResidualStd
+		return s, nil
+	case "KNN":
+		st := env.KNN
+		if st == nil {
+			return nil, fmt.Errorf("surrogate: KNN payload missing")
+		}
+		k := NewKNN(KNNConfig{K: st.K, Weighted: st.Weighted})
+		k.X, k.y = st.X, st.Y
+		return k, nil
+	default:
+		return nil, fmt.Errorf("surrogate: unknown model type %q", env.Type)
+	}
+}

@@ -1,0 +1,67 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMarshalRoundTripAllModels: every fitted model family must predict
+// identically after a marshal/unmarshal round trip — the finalize() archive
+// of intermediate models must be faithful.
+func TestMarshalRoundTripAllModels(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	X, y := trainSet(r, 80, 3, quadratic)
+	models := append(allModels(r), NewKNN(DefaultKNNConfig()))
+	probes := [][]float64{
+		{0.1, 0.2, 0.3}, {0.5, 0.5, 0.5}, {0.9, 0.1, 0.7}, {0.33, 0.77, 0.05},
+	}
+	for _, m := range models {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		b, err := Marshal(m)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", m.Name(), err)
+		}
+		back, err := Unmarshal(b)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", m.Name(), err)
+		}
+		if back.Name() != m.Name() {
+			t.Errorf("%s: name became %s", m.Name(), back.Name())
+		}
+		for _, p := range probes {
+			m1, s1 := m.PredictWithStd(p)
+			m2, s2 := back.PredictWithStd(p)
+			if math.Abs(m1-m2) > 1e-9 || math.Abs(s1-s2) > 1e-9 {
+				t.Fatalf("%s: round trip changed prediction at %v: (%v,%v) vs (%v,%v)",
+					m.Name(), p, m1, s1, m2, s2)
+			}
+		}
+	}
+}
+
+func TestMarshalUnfittedGPRejected(t *testing.T) {
+	if _, err := Marshal(NewGP(DefaultGPConfig())); err == nil {
+		t.Error("unfitted GP marshaled")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal([]byte("{not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"type":"XGB"}`)); err == nil {
+		t.Error("unknown type accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"type":"GP","gp":{"kernel":"periodic"}}`)); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"type":"ET"}`)); err == nil {
+		t.Error("missing payload accepted")
+	}
+	if _, err := Unmarshal([]byte(`{"type":"GP","gp":{"kernel":"rbf","x":[[1]],"alpha":[],"l":[]}}`)); err == nil {
+		t.Error("inconsistent GP payload accepted")
+	}
+}

@@ -1,0 +1,262 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// TreeConfig controls CART regression-tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth (0 = unlimited).
+	MaxDepth int
+	// MinSamplesLeaf is the minimum training rows per leaf.
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features considered per split
+	// (0 = all features).
+	MaxFeatures int
+	// RandomThresholds draws one uniform threshold per candidate feature
+	// instead of scanning all split points — the Extra-Trees splitter.
+	RandomThresholds bool
+	// Bootstrap resamples the training set with replacement before fitting
+	// (used by Random Forest members).
+	Bootstrap bool
+}
+
+// DefaultTreeConfig mirrors sklearn's regression-tree defaults.
+func DefaultTreeConfig() TreeConfig {
+	return TreeConfig{MaxDepth: 0, MinSamplesLeaf: 1}
+}
+
+// Tree is a CART regression tree.
+type Tree struct {
+	cfg   TreeConfig
+	rng   *rand.Rand
+	nodes []treeNode
+}
+
+// treeNode is a flat-array tree node; leaves have feature == -1.
+type treeNode struct {
+	feature     int
+	threshold   float64
+	left, right int
+	value       float64
+	count       int
+}
+
+// NewTree returns an untrained tree.
+func NewTree(cfg TreeConfig, r *rand.Rand) *Tree {
+	if r == nil {
+		r = rand.New(rand.NewSource(1))
+	}
+	return &Tree{cfg: cfg, rng: r}
+}
+
+// Name implements Model.
+func (t *Tree) Name() string { return "TREE" }
+
+// Fit implements Model.
+func (t *Tree) Fit(X [][]float64, y []float64) error {
+	n, d, err := validate(X, y)
+	if err != nil {
+		return err
+	}
+	idx := make([]int, n)
+	if t.cfg.Bootstrap {
+		for i := range idx {
+			idx[i] = t.rng.Intn(n)
+		}
+	} else {
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	t.nodes = t.nodes[:0]
+	t.build(X, y, idx, d, 0)
+	return nil
+}
+
+// build grows a subtree over the rows in idx and returns its node index.
+func (t *Tree) build(X [][]float64, y []float64, idx []int, d, depth int) int {
+	node := len(t.nodes)
+	t.nodes = append(t.nodes, treeNode{feature: -1})
+
+	var sum, sumSq float64
+	for _, i := range idx {
+		sum += y[i]
+		sumSq += y[i] * y[i]
+	}
+	n := float64(len(idx))
+	t.nodes[node].value = sum / n
+	t.nodes[node].count = len(idx)
+	sse := sumSq - sum*sum/n
+
+	minLeaf := t.cfg.MinSamplesLeaf
+	if minLeaf < 1 {
+		minLeaf = 1
+	}
+	if len(idx) < 2*minLeaf || sse <= 1e-12 || (t.cfg.MaxDepth > 0 && depth >= t.cfg.MaxDepth) {
+		return node
+	}
+
+	feat, thr, ok := t.bestSplit(X, y, idx, d, minLeaf)
+	if !ok {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return node
+	}
+	t.nodes[node].feature = feat
+	t.nodes[node].threshold = thr
+	t.nodes[node].left = t.build(X, y, left, d, depth+1)
+	t.nodes[node].right = t.build(X, y, right, d, depth+1)
+	return node
+}
+
+// bestSplit searches for the SSE-minimizing split over a random subset of
+// features (exhaustive thresholds for CART, one random threshold per feature
+// for Extra-Trees).
+func (t *Tree) bestSplit(X [][]float64, y []float64, idx []int, d, minLeaf int) (feat int, thr float64, ok bool) {
+	nFeat := t.cfg.MaxFeatures
+	if nFeat <= 0 || nFeat > d {
+		nFeat = d
+	}
+	feats := t.rng.Perm(d)[:nFeat]
+	best := math.Inf(1)
+	for _, f := range feats {
+		if t.cfg.RandomThresholds {
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, i := range idx {
+				v := X[i][f]
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if hi <= lo {
+				continue
+			}
+			cut := lo + t.rng.Float64()*(hi-lo)
+			if cost, valid := splitCost(X, y, idx, f, cut, minLeaf); valid && cost < best {
+				best, feat, thr, ok = cost, f, cut, true
+			}
+			continue
+		}
+		// Exhaustive scan: sort rows by feature value, then evaluate every
+		// boundary between distinct values with prefix sums.
+		order := append([]int(nil), idx...)
+		sort.Slice(order, func(a, b int) bool { return X[order[a]][f] < X[order[b]][f] })
+		var lSum, lSq float64
+		var rSum, rSq float64
+		for _, i := range order {
+			rSum += y[i]
+			rSq += y[i] * y[i]
+		}
+		nTot := len(order)
+		for k := 0; k < nTot-1; k++ {
+			yi := y[order[k]]
+			lSum += yi
+			lSq += yi * yi
+			rSum -= yi
+			rSq -= yi * yi
+			if X[order[k]][f] == X[order[k+1]][f] {
+				continue
+			}
+			nl, nr := k+1, nTot-k-1
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			cost := (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr))
+			if cost < best {
+				best = cost
+				feat = f
+				thr = (X[order[k]][f] + X[order[k+1]][f]) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+// splitCost evaluates one (feature, threshold) split's total SSE.
+func splitCost(X [][]float64, y []float64, idx []int, f int, thr float64, minLeaf int) (float64, bool) {
+	var lSum, lSq, rSum, rSq float64
+	var nl, nr int
+	for _, i := range idx {
+		yi := y[i]
+		if X[i][f] <= thr {
+			lSum += yi
+			lSq += yi * yi
+			nl++
+		} else {
+			rSum += yi
+			rSq += yi * yi
+			nr++
+		}
+	}
+	if nl < minLeaf || nr < minLeaf {
+		return 0, false
+	}
+	return (lSq - lSum*lSum/float64(nl)) + (rSq - rSum*rSum/float64(nr)), true
+}
+
+// Predict implements Model.
+func (t *Tree) Predict(x []float64) float64 {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	i := 0
+	for t.nodes[i].feature >= 0 {
+		if x[t.nodes[i].feature] <= t.nodes[i].threshold {
+			i = t.nodes[i].left
+		} else {
+			i = t.nodes[i].right
+		}
+	}
+	return t.nodes[i].value
+}
+
+// PredictWithStd implements Model. A single tree has no posterior; std is 0.
+func (t *Tree) PredictWithStd(x []float64) (float64, float64) {
+	return t.Predict(x), 0
+}
+
+// Depth returns the fitted tree's depth (for tests and diagnostics).
+func (t *Tree) Depth() int {
+	if len(t.nodes) == 0 {
+		return 0
+	}
+	var walk func(i int) int
+	walk = func(i int) int {
+		if t.nodes[i].feature < 0 {
+			return 1
+		}
+		l, r := walk(t.nodes[i].left), walk(t.nodes[i].right)
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return walk(0)
+}
+
+// LeafCount returns the number of leaves.
+func (t *Tree) LeafCount() int {
+	n := 0
+	for _, nd := range t.nodes {
+		if nd.feature < 0 {
+			n++
+		}
+	}
+	return n
+}

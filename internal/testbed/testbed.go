@@ -1,0 +1,269 @@
+// Package testbed models a large-scale experimental testbed — Grid'5000 in
+// the paper — with sites, clusters, node hardware, and reservations. The
+// E2Clab managers deploy layers/services onto reserved nodes exactly as the
+// real framework maps the scenario onto physical machines.
+//
+// The paper's experiments reserve 42 nodes across the chifflot, chiclet,
+// chetemi, chifflet and gros clusters; the Pl@ntNet Identification Engine
+// runs on chifflot (Dell PowerEdge R740, 2x Xeon Gold 6126, 192 GB RAM,
+// Tesla V100-PCIE-32GB), clients on the other four.
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// GPUSpec describes one GPU model.
+type GPUSpec struct {
+	Model    string
+	MemoryGB float64
+}
+
+// NodeSpec is the hardware of every node in a cluster.
+type NodeSpec struct {
+	CPUModel    string
+	CPUs        int
+	CoresPerCPU int
+	MemoryGB    float64
+	DiskGB      float64
+	NICGbps     float64
+	GPUs        int
+	GPU         *GPUSpec
+}
+
+// Cores returns the total CPU core count of one node.
+func (s NodeSpec) Cores() int { return s.CPUs * s.CoresPerCPU }
+
+// Cluster is a homogeneous set of nodes at one site.
+type Cluster struct {
+	Name  string
+	Site  string
+	Count int
+	Spec  NodeSpec
+}
+
+// Node is one reservable machine.
+type Node struct {
+	ID      string
+	Cluster string
+	Site    string
+	Spec    NodeSpec
+}
+
+// Testbed holds clusters and tracks reservations.
+type Testbed struct {
+	mu       sync.Mutex
+	clusters map[string]*Cluster
+	order    []string
+	reserved map[string]int // cluster -> reserved node count
+}
+
+// New builds a testbed from cluster definitions.
+func New(clusters ...Cluster) *Testbed {
+	tb := &Testbed{
+		clusters: make(map[string]*Cluster),
+		reserved: make(map[string]int),
+	}
+	for i := range clusters {
+		c := clusters[i]
+		tb.clusters[c.Name] = &c
+		tb.order = append(tb.order, c.Name)
+	}
+	return tb
+}
+
+// Grid5000 returns the five-cluster slice of Grid'5000 used in the paper's
+// Section IV. Node counts and specs follow the public Grid'5000 reference
+// (chifflot is exact per the paper's text; the client clusters carry
+// representative specs — only their count and NICs matter to the scenario).
+func Grid5000() *Testbed {
+	return New(
+		Cluster{Name: "chifflot", Site: "lille", Count: 8, Spec: NodeSpec{
+			CPUModel: "Intel Xeon Gold 6126", CPUs: 2, CoresPerCPU: 12,
+			MemoryGB: 192, DiskGB: 480, NICGbps: 25,
+			GPUs: 2, GPU: &GPUSpec{Model: "Nvidia Tesla V100-PCIE-32GB", MemoryGB: 32},
+		}},
+		Cluster{Name: "chiclet", Site: "lille", Count: 8, Spec: NodeSpec{
+			CPUModel: "AMD EPYC 7301", CPUs: 2, CoresPerCPU: 16,
+			MemoryGB: 128, DiskGB: 480, NICGbps: 25,
+		}},
+		Cluster{Name: "chetemi", Site: "lille", Count: 15, Spec: NodeSpec{
+			CPUModel: "Intel Xeon E5-2630 v4", CPUs: 2, CoresPerCPU: 10,
+			MemoryGB: 256, DiskGB: 600, NICGbps: 10,
+		}},
+		Cluster{Name: "chifflet", Site: "lille", Count: 8, Spec: NodeSpec{
+			CPUModel: "Intel Xeon E5-2680 v4", CPUs: 2, CoresPerCPU: 14,
+			MemoryGB: 768, DiskGB: 400, NICGbps: 10,
+			GPUs: 2, GPU: &GPUSpec{Model: "Nvidia GTX 1080 Ti", MemoryGB: 11},
+		}},
+		Cluster{Name: "gros", Site: "nancy", Count: 124, Spec: NodeSpec{
+			CPUModel: "Intel Xeon Gold 5220", CPUs: 1, CoresPerCPU: 18,
+			MemoryGB: 96, DiskGB: 480, NICGbps: 25,
+		}},
+	)
+}
+
+// Clusters lists cluster names in definition order.
+func (tb *Testbed) Clusters() []string { return append([]string(nil), tb.order...) }
+
+// Cluster returns the named cluster, or nil.
+func (tb *Testbed) Cluster(name string) *Cluster { return tb.clusters[name] }
+
+// Available returns the number of free nodes in a cluster.
+func (tb *Testbed) Available(cluster string) int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	c, ok := tb.clusters[cluster]
+	if !ok {
+		return 0
+	}
+	return c.Count - tb.reserved[cluster]
+}
+
+// Reservation is a set of reserved nodes, released as a unit (oarsub job
+// semantics).
+type Reservation struct {
+	tb       *Testbed
+	Nodes    []*Node
+	released bool
+}
+
+// Reserve allocates n nodes from the named cluster.
+func (tb *Testbed) Reserve(cluster string, n int) (*Reservation, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("testbed: reservation size %d", n)
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	c, ok := tb.clusters[cluster]
+	if !ok {
+		return nil, fmt.Errorf("testbed: unknown cluster %q", cluster)
+	}
+	free := c.Count - tb.reserved[cluster]
+	if n > free {
+		return nil, fmt.Errorf("testbed: cluster %q has %d free nodes, requested %d", cluster, free, n)
+	}
+	start := tb.reserved[cluster]
+	tb.reserved[cluster] += n
+	res := &Reservation{tb: tb}
+	for i := 0; i < n; i++ {
+		res.Nodes = append(res.Nodes, &Node{
+			ID:      fmt.Sprintf("%s-%d.%s.grid5000.fr", cluster, start+i+1, c.Site),
+			Cluster: cluster,
+			Site:    c.Site,
+			Spec:    c.Spec,
+		})
+	}
+	return res, nil
+}
+
+// Release frees the reservation's nodes. Releasing twice is a no-op.
+func (r *Reservation) Release() {
+	if r.released {
+		return
+	}
+	r.released = true
+	r.tb.mu.Lock()
+	defer r.tb.mu.Unlock()
+	counts := map[string]int{}
+	for _, n := range r.Nodes {
+		counts[n.Cluster]++
+	}
+	for c, n := range counts {
+		r.tb.reserved[c] -= n
+		if r.tb.reserved[c] < 0 {
+			r.tb.reserved[c] = 0
+		}
+	}
+}
+
+// TotalNodes returns the testbed's node count.
+func (tb *Testbed) TotalNodes() int {
+	var n int
+	for _, c := range tb.clusters {
+		n += c.Count
+	}
+	return n
+}
+
+// Service is an E2Clab service: a system (or group of systems) providing a
+// specific functionality in the scenario workflow, placed on a layer.
+type Service struct {
+	// Name identifies the service ("plantnet_engine", "client", ...).
+	Name string
+	// Quantity is the number of nodes the service spans.
+	Quantity int
+	// Cluster pins the service to a cluster (required in this model; the
+	// real E2Clab can also auto-select).
+	Cluster string
+	// Env carries service-specific settings (thread pool sizes etc.).
+	Env map[string]string
+}
+
+// Layer groups services belonging to one part of the continuum (Edge, Fog,
+// Cloud in the E2Clab layers-services configuration).
+type Layer struct {
+	Name     string
+	Services []Service
+}
+
+// Deployment maps services onto reserved nodes.
+type Deployment struct {
+	reservations []*Reservation
+	// Placement maps "layer/service" to its nodes.
+	Placement map[string][]*Node
+}
+
+// Deploy reserves nodes for every service of every layer and returns the
+// placement. On failure everything already reserved is released.
+func (tb *Testbed) Deploy(layers []Layer) (*Deployment, error) {
+	d := &Deployment{Placement: make(map[string][]*Node)}
+	for _, l := range layers {
+		if len(l.Services) == 0 {
+			d.ReleaseAll()
+			return nil, fmt.Errorf("testbed: layer %q has no services", l.Name)
+		}
+		for _, svc := range l.Services {
+			q := svc.Quantity
+			if q <= 0 {
+				q = 1
+			}
+			res, err := tb.Reserve(svc.Cluster, q)
+			if err != nil {
+				d.ReleaseAll()
+				return nil, fmt.Errorf("testbed: deploying %s/%s: %w", l.Name, svc.Name, err)
+			}
+			d.reservations = append(d.reservations, res)
+			d.Placement[l.Name+"/"+svc.Name] = res.Nodes
+		}
+	}
+	return d, nil
+}
+
+// ReleaseAll frees every reservation of the deployment.
+func (d *Deployment) ReleaseAll() {
+	for _, r := range d.reservations {
+		r.Release()
+	}
+}
+
+// NodeCount returns the total nodes held by the deployment.
+func (d *Deployment) NodeCount() int {
+	var n int
+	for _, nodes := range d.Placement {
+		n += len(nodes)
+	}
+	return n
+}
+
+// Keys returns the placement keys sorted (stable output for manifests).
+func (d *Deployment) Keys() []string {
+	keys := make([]string, 0, len(d.Placement))
+	for k := range d.Placement {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGrid5000Inventory(t *testing.T) {
+	tb := Grid5000()
+	if got := len(tb.Clusters()); got != 5 {
+		t.Fatalf("clusters = %d, want 5", got)
+	}
+	chifflot := tb.Cluster("chifflot")
+	if chifflot == nil {
+		t.Fatal("chifflot missing")
+	}
+	// Paper: Dell R740, 2 CPUs/node, 12 cores/CPU, 192GB, 480GB SSD,
+	// 25Gbps, Tesla V100-PCIE-32GB.
+	if chifflot.Spec.Cores() != 24 {
+		t.Errorf("chifflot cores = %d, want 24", chifflot.Spec.Cores())
+	}
+	if chifflot.Spec.MemoryGB != 192 || chifflot.Spec.NICGbps != 25 {
+		t.Errorf("chifflot spec wrong: %+v", chifflot.Spec)
+	}
+	if chifflot.Spec.GPU == nil || chifflot.Spec.GPU.MemoryGB != 32 ||
+		!strings.Contains(chifflot.Spec.GPU.Model, "V100") {
+		t.Errorf("chifflot GPU wrong: %+v", chifflot.Spec.GPU)
+	}
+	for _, name := range []string{"chiclet", "chetemi", "chifflet", "gros"} {
+		if tb.Cluster(name) == nil {
+			t.Errorf("cluster %q missing", name)
+		}
+	}
+}
+
+func TestReserveAndRelease(t *testing.T) {
+	tb := Grid5000()
+	if tb.Available("chifflot") != 8 {
+		t.Fatalf("available = %d", tb.Available("chifflot"))
+	}
+	res, err := tb.Reserve("chifflot", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Nodes) != 3 || tb.Available("chifflot") != 5 {
+		t.Errorf("reserve accounting wrong: %d nodes, %d free", len(res.Nodes), tb.Available("chifflot"))
+	}
+	if res.Nodes[0].ID != "chifflot-1.lille.grid5000.fr" {
+		t.Errorf("node id = %q", res.Nodes[0].ID)
+	}
+	res.Release()
+	if tb.Available("chifflot") != 8 {
+		t.Errorf("release did not free nodes: %d", tb.Available("chifflot"))
+	}
+	res.Release() // double release is a no-op
+	if tb.Available("chifflot") != 8 {
+		t.Error("double release corrupted accounting")
+	}
+}
+
+func TestReserveErrors(t *testing.T) {
+	tb := Grid5000()
+	if _, err := tb.Reserve("nonexistent", 1); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if _, err := tb.Reserve("chifflot", 9); err == nil {
+		t.Error("over-reservation accepted")
+	}
+	if _, err := tb.Reserve("chifflot", 0); err == nil {
+		t.Error("zero-size reservation accepted")
+	}
+}
+
+func TestReserveExhaustion(t *testing.T) {
+	tb := Grid5000()
+	if _, err := tb.Reserve("chifflot", 8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Reserve("chifflot", 1); err == nil {
+		t.Error("reservation on exhausted cluster accepted")
+	}
+}
+
+// TestPaperScenarioDeployment reproduces the paper's 42-node scenario:
+// the engine on chifflot, clients spread over four clusters.
+func TestPaperScenarioDeployment(t *testing.T) {
+	tb := Grid5000()
+	layers := []Layer{
+		{Name: "cloud", Services: []Service{
+			{Name: "plantnet_engine", Quantity: 2, Cluster: "chifflot",
+				Env: map[string]string{"http": "40", "download": "40", "extract": "7", "simsearch": "40"}},
+		}},
+		{Name: "edge", Services: []Service{
+			{Name: "client", Quantity: 8, Cluster: "chiclet"},
+			{Name: "client2", Quantity: 15, Cluster: "chetemi"},
+			{Name: "client3", Quantity: 8, Cluster: "chifflet"},
+			{Name: "client4", Quantity: 9, Cluster: "gros"},
+		}},
+	}
+	d, err := tb.Deploy(layers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.ReleaseAll()
+	if d.NodeCount() != 42 {
+		t.Errorf("deployed %d nodes, want 42 (paper)", d.NodeCount())
+	}
+	engine := d.Placement["cloud/plantnet_engine"]
+	if len(engine) != 2 || engine[0].Spec.GPU == nil {
+		t.Errorf("engine placement wrong: %+v", engine)
+	}
+	keys := d.Keys()
+	if len(keys) != 5 || keys[0] != "cloud/plantnet_engine" {
+		t.Errorf("keys = %v", keys)
+	}
+}
+
+func TestDeployRollbackOnFailure(t *testing.T) {
+	tb := Grid5000()
+	layers := []Layer{
+		{Name: "cloud", Services: []Service{
+			{Name: "ok", Quantity: 4, Cluster: "chifflot"},
+			{Name: "too_big", Quantity: 100, Cluster: "chiclet"},
+		}},
+	}
+	if _, err := tb.Deploy(layers); err == nil {
+		t.Fatal("oversized deployment accepted")
+	}
+	// The partial reservation must have been rolled back.
+	if tb.Available("chifflot") != 8 {
+		t.Errorf("rollback failed: chifflot available = %d", tb.Available("chifflot"))
+	}
+}
+
+func TestDeployEmptyLayerRejected(t *testing.T) {
+	tb := Grid5000()
+	if _, err := tb.Deploy([]Layer{{Name: "empty"}}); err == nil {
+		t.Error("empty layer accepted")
+	}
+}
+
+func TestDeployDefaultQuantity(t *testing.T) {
+	tb := Grid5000()
+	d, err := tb.Deploy([]Layer{{Name: "l", Services: []Service{{Name: "s", Cluster: "gros"}}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.ReleaseAll()
+	if len(d.Placement["l/s"]) != 1 {
+		t.Errorf("default quantity != 1")
+	}
+}
+
+func TestTotalNodes(t *testing.T) {
+	tb := Grid5000()
+	if got := tb.TotalNodes(); got != 8+8+15+8+124 {
+		t.Errorf("TotalNodes = %d", got)
+	}
+}

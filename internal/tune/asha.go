@@ -1,0 +1,94 @@
+package tune
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// AsyncHyperBand is the Async Successive Halving (ASHA) scheduler of
+// Listing 1's AsyncHyperBandScheduler: trials report at increasing
+// iterations ("rungs"); at each rung, a trial continues only if its value
+// is within the top 1/ReductionFactor of all values recorded at that rung
+// so far. Being asynchronous, decisions never wait for other trials.
+type AsyncHyperBand struct {
+	// GracePeriod is the minimum iterations before a trial can be stopped
+	// (default 1).
+	GracePeriod int
+	// ReductionFactor is eta (default 4, Ray's default).
+	ReductionFactor int
+	// MaxT caps useful training iterations (default 100).
+	MaxT int
+
+	mu    sync.Mutex
+	rungs map[int][]float64 // rung iteration -> values recorded (min-oriented)
+}
+
+// Name implements Scheduler.
+func (a *AsyncHyperBand) Name() string { return "async_hyperband" }
+
+func (a *AsyncHyperBand) defaults() (grace, eta, maxT int) {
+	grace, eta, maxT = a.GracePeriod, a.ReductionFactor, a.MaxT
+	if grace <= 0 {
+		grace = 1
+	}
+	if eta <= 1 {
+		eta = 4
+	}
+	if maxT <= 0 {
+		maxT = 100
+	}
+	return grace, eta, maxT
+}
+
+// rungOf returns the highest rung <= iter, or -1. Rungs are
+// grace * eta^k for k = 0, 1, ...
+func (a *AsyncHyperBand) rungOf(iter int) int {
+	grace, eta, maxT := a.defaults()
+	if iter < grace {
+		return -1
+	}
+	r := grace
+	for next := r * eta; next <= iter && next <= maxT; next *= eta {
+		r = next
+	}
+	return r
+}
+
+// OnReport implements Scheduler.
+func (a *AsyncHyperBand) OnReport(trialID, iteration int, value float64) Decision {
+	grace, eta, maxT := a.defaults()
+	rung := a.rungOf(iteration)
+	if rung < 0 {
+		return Continue
+	}
+	if iteration >= maxT {
+		return Stop // trained long enough; stop to free resources
+	}
+	// Only decide exactly at rung boundaries (asynchronous successive
+	// halving evaluates at rungs, not every report).
+	if iteration != rung {
+		return Continue
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.rungs == nil {
+		a.rungs = make(map[int][]float64)
+	}
+	vals := append(a.rungs[rung], value)
+	a.rungs[rung] = vals
+	if len(vals) < eta {
+		return Continue // not enough evidence at this rung yet
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	cut := sorted[int(math.Ceil(float64(len(sorted))/float64(eta)))-1]
+	if value <= cut {
+		return Continue
+	}
+	_ = grace
+	return Stop
+}
+
+// OnDone implements Scheduler.
+func (a *AsyncHyperBand) OnDone(int) {}

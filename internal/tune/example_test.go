@@ -1,0 +1,33 @@
+package tune_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/space"
+	"e2clab/internal/tune"
+)
+
+// A minimal tune.run equivalent: random search over a config space with
+// four parallel workers.
+func ExampleRun() {
+	s := space.New(space.Int("threads", 1, 32))
+	analysis, err := tune.Run(tune.RunConfig{
+		Name:          "example",
+		Metric:        "latency",
+		Mode:          space.Min,
+		NumSamples:    32,
+		MaxConcurrent: 4,
+	}, &tune.RandomSearch{Space: s, Seed: 7},
+		func(ctx *tune.Context, x []float64) (float64, error) {
+			t := x[0]
+			return (t - 16) * (t - 16), nil // optimum at 16 threads
+		})
+	if err != nil {
+		panic(err)
+	}
+	best := analysis.Best()
+	fmt.Printf("best threads within 16±1: %v (%d trials)\n",
+		best.Config[0] >= 15 && best.Config[0] <= 17, len(analysis.Trials))
+	// Output:
+	// best threads within 16±1: true (32 trials)
+}

@@ -1,0 +1,77 @@
+package tune
+
+import (
+	"sort"
+	"sync"
+)
+
+// MedianStopping implements Google Vizier's median stopping rule, the other
+// widely used early-stopping scheduler alongside ASHA: a trial is stopped
+// at iteration t when its best value so far is worse than the median of the
+// running averages of all completed-or-running trials at iteration t.
+type MedianStopping struct {
+	// GracePeriod is the minimum iterations before stopping (default 5).
+	GracePeriod int
+	// MinTrials is the minimum number of peer trials with data at the
+	// iteration before the rule activates (default 3).
+	MinTrials int
+
+	mu      sync.Mutex
+	history map[int][]float64 // trialID -> reported values (min-oriented)
+}
+
+// Name implements Scheduler.
+func (m *MedianStopping) Name() string { return "median_stopping" }
+
+// OnReport implements Scheduler.
+func (m *MedianStopping) OnReport(trialID, iteration int, value float64) Decision {
+	grace := m.GracePeriod
+	if grace <= 0 {
+		grace = 5
+	}
+	minTrials := m.MinTrials
+	if minTrials <= 0 {
+		minTrials = 3
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.history == nil {
+		m.history = make(map[int][]float64)
+	}
+	m.history[trialID] = append(m.history[trialID], value)
+	if iteration < grace {
+		return Continue
+	}
+	// Running average up to this iteration for every peer with >= iteration
+	// reports.
+	var avgs []float64
+	for id, vals := range m.history {
+		if id == trialID || len(vals) < iteration {
+			continue
+		}
+		var s float64
+		for _, v := range vals[:iteration] {
+			s += v
+		}
+		avgs = append(avgs, s/float64(iteration))
+	}
+	if len(avgs) < minTrials {
+		return Continue
+	}
+	sort.Float64s(avgs)
+	median := avgs[len(avgs)/2]
+	// Best value this trial has achieved so far.
+	best := m.history[trialID][0]
+	for _, v := range m.history[trialID] {
+		if v < best {
+			best = v
+		}
+	}
+	if best > median {
+		return Stop
+	}
+	return Continue
+}
+
+// OnDone implements Scheduler.
+func (m *MedianStopping) OnDone(trialID int) {}

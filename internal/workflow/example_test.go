@@ -1,0 +1,34 @@
+package workflow_test
+
+import (
+	"fmt"
+
+	"e2clab/internal/workflow"
+)
+
+// An experiment cycle as a dependency DAG: the clients start only after the
+// engine is up, the backup only after the workload finished.
+func Example() {
+	w := workflow.New()
+	step := func(name string, deps ...string) {
+		w.MustAdd(workflow.Task{Name: name, DependsOn: deps, Run: func() error {
+			fmt.Println("run:", name)
+			return nil
+		}})
+	}
+	step("engine:launch")
+	step("clients:launch", "engine:launch")
+	step("workload", "clients:launch")
+	step("backup", "workload")
+	rep, err := w.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("succeeded:", rep.Succeeded())
+	// Output:
+	// run: engine:launch
+	// run: clients:launch
+	// run: workload
+	// run: backup
+	// succeeded: true
+}

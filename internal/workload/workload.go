@@ -1,0 +1,176 @@
+// Package workload defines the request workloads driving the Pl@ntNet
+// engine experiments and the long-term user-growth model of the paper's
+// Figure 2 ("exponential growth of new users every spring, peaks in
+// May-June"), which motivates the optimization: anticipating the
+// infrastructure evolution needed to pass the upcoming spring peak.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"e2clab/internal/rngutil"
+)
+
+// Spec is one experiment workload: a closed-loop population of simultaneous
+// requests, held constant for the experiment duration (the paper's 80, 120
+// and 140 request categories).
+type Spec struct {
+	// SimultaneousRequests is the closed-loop population size.
+	SimultaneousRequests int
+	// DurationSeconds is the experiment length (paper: 1380 s).
+	DurationSeconds float64
+}
+
+// PaperWorkloads returns the three workload categories of Section IV.
+func PaperWorkloads() []Spec {
+	return []Spec{
+		{SimultaneousRequests: 80, DurationSeconds: 1380},
+		{SimultaneousRequests: 120, DurationSeconds: 1380},
+		{SimultaneousRequests: 140, DurationSeconds: 1380},
+	}
+}
+
+// Validate reports whether the spec is usable.
+func (s Spec) Validate() error {
+	if s.SimultaneousRequests < 1 {
+		return fmt.Errorf("workload: population %d", s.SimultaneousRequests)
+	}
+	if s.DurationSeconds <= 0 {
+		return fmt.Errorf("workload: duration %v", s.DurationSeconds)
+	}
+	return nil
+}
+
+// GrowthModel generates the Figure 2 new-users-per-week curve: a baseline
+// growing exponentially year over year, multiplied by a seasonal profile
+// peaking in May-June, plus multiplicative noise.
+type GrowthModel struct {
+	// StartYear is the first modeled year (Figure 2 spans 2015-2021).
+	StartYear int
+	// Years is the number of modeled years.
+	Years int
+	// BaseUsersPerWeek is the year-1 off-season level.
+	BaseUsersPerWeek float64
+	// AnnualGrowth is the year-over-year multiplier (e.g. 1.45).
+	AnnualGrowth float64
+	// PeakAmplitude is the spring-peak multiplier over the off-season
+	// level (e.g. 6 means peak weeks see ~7x the base).
+	PeakAmplitude float64
+	// NoiseCV is the multiplicative noise coefficient of variation.
+	NoiseCV float64
+	// Seed drives the noise.
+	Seed int64
+}
+
+// DefaultGrowthModel approximates Figure 2: ~45% annual growth with strong
+// May-June peaks.
+func DefaultGrowthModel() GrowthModel {
+	return GrowthModel{
+		StartYear:        2015,
+		Years:            7,
+		BaseUsersPerWeek: 20000,
+		AnnualGrowth:     1.45,
+		PeakAmplitude:    6,
+		NoiseCV:          0.10,
+		Seed:             1,
+	}
+}
+
+// WeekPoint is one week of the generated trace.
+type WeekPoint struct {
+	Year     int
+	Week     int // 0..51
+	NewUsers float64
+}
+
+// Generate produces the weekly trace.
+func (g GrowthModel) Generate() []WeekPoint {
+	if g.Years <= 0 {
+		return nil
+	}
+	r := rngutil.New(g.Seed)
+	out := make([]WeekPoint, 0, g.Years*52)
+	for y := 0; y < g.Years; y++ {
+		yearLevel := g.BaseUsersPerWeek * math.Pow(g.AnnualGrowth, float64(y))
+		for w := 0; w < 52; w++ {
+			season := g.seasonal(w)
+			noise := 1 + g.NoiseCV*r.NormFloat64()
+			if noise < 0.1 {
+				noise = 0.1
+			}
+			out = append(out, WeekPoint{
+				Year:     g.StartYear + y,
+				Week:     w,
+				NewUsers: yearLevel * season * noise,
+			})
+		}
+	}
+	return out
+}
+
+// seasonal is the within-year profile: a Gaussian bump centered on week 21
+// (late May) with width ~4 weeks, floored at 1 (off-season).
+func (g GrowthModel) seasonal(week int) float64 {
+	d := float64(week) - 21
+	return 1 + g.PeakAmplitude*math.Exp(-d*d/(2*16))
+}
+
+// PeakWeek returns the week index with the most new users in a given year
+// of the trace.
+func PeakWeek(trace []WeekPoint, year int) (week int, users float64) {
+	week = -1
+	for _, p := range trace {
+		if p.Year == year && p.NewUsers > users {
+			week, users = p.Week, p.NewUsers
+		}
+	}
+	return week, users
+}
+
+// YearTotal sums new users of one year.
+func YearTotal(trace []WeekPoint, year int) float64 {
+	var s float64
+	for _, p := range trace {
+		if p.Year == year {
+			s += p.NewUsers
+		}
+	}
+	return s
+}
+
+// ProjectedPopulation converts a projected user count into the simultaneous
+// request population the engine must sustain, given the fraction of users
+// active concurrently at daily peak. The paper's Pl@ntNet serves ~10M users
+// and ~400K images/day; the engine sees O(100) simultaneous requests.
+func ProjectedPopulation(totalUsers, concurrentFraction float64) int {
+	n := int(math.Ceil(totalUsers * concurrentFraction))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// Poisson draws a Poisson-distributed count with the given mean — used by
+// open-loop workload variants in the examples.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 50 {
+		// Normal approximation for large means.
+		v := mean + math.Sqrt(mean)*r.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for p > l {
+		k++
+		p *= r.Float64()
+	}
+	return k - 1
+}

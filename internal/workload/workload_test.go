@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPaperWorkloads(t *testing.T) {
+	ws := PaperWorkloads()
+	if len(ws) != 3 {
+		t.Fatalf("want 3 workload categories, got %d", len(ws))
+	}
+	wantN := []int{80, 120, 140}
+	for i, w := range ws {
+		if w.SimultaneousRequests != wantN[i] {
+			t.Errorf("workload %d = %d requests, want %d", i, w.SimultaneousRequests, wantN[i])
+		}
+		if w.DurationSeconds != 1380 {
+			t.Errorf("duration = %v, want 1380 (23 min)", w.DurationSeconds)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("paper workload invalid: %v", err)
+		}
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := (Spec{SimultaneousRequests: 0, DurationSeconds: 10}).Validate(); err == nil {
+		t.Error("zero population accepted")
+	}
+	if err := (Spec{SimultaneousRequests: 10}).Validate(); err == nil {
+		t.Error("zero duration accepted")
+	}
+}
+
+func TestGrowthTraceShape(t *testing.T) {
+	trace := DefaultGrowthModel().Generate()
+	if len(trace) != 7*52 {
+		t.Fatalf("trace length %d, want %d", len(trace), 7*52)
+	}
+	// Figure 2's defining property: every year peaks in May-June
+	// (weeks ~17-26) and year totals grow.
+	prevTotal := 0.0
+	for y := 2015; y <= 2021; y++ {
+		week, users := PeakWeek(trace, y)
+		if week < 17 || week > 26 {
+			t.Errorf("year %d peaks at week %d, want May-June (17-26)", y, week)
+		}
+		if users <= 0 {
+			t.Errorf("year %d has nonpositive peak", y)
+		}
+		total := YearTotal(trace, y)
+		if total <= prevTotal {
+			t.Errorf("year %d total %.0f did not grow over %.0f", y, total, prevTotal)
+		}
+		prevTotal = total
+	}
+}
+
+func TestGrowthPeakDominatesOffSeason(t *testing.T) {
+	trace := DefaultGrowthModel().Generate()
+	_, peak := PeakWeek(trace, 2020)
+	// Off-season: week 45.
+	var offSeason float64
+	for _, p := range trace {
+		if p.Year == 2020 && p.Week == 45 {
+			offSeason = p.NewUsers
+		}
+	}
+	if peak < 3*offSeason {
+		t.Errorf("peak %.0f not >> off-season %.0f", peak, offSeason)
+	}
+}
+
+func TestGrowthDeterministic(t *testing.T) {
+	a := DefaultGrowthModel().Generate()
+	b := DefaultGrowthModel().Generate()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different trace")
+		}
+	}
+}
+
+func TestGrowthEmptyYears(t *testing.T) {
+	g := DefaultGrowthModel()
+	g.Years = 0
+	if got := g.Generate(); got != nil {
+		t.Errorf("zero years should yield nil, got %d points", len(got))
+	}
+}
+
+func TestPeakWeekMissingYear(t *testing.T) {
+	trace := DefaultGrowthModel().Generate()
+	if w, _ := PeakWeek(trace, 1999); w != -1 {
+		t.Errorf("missing year returned week %d", w)
+	}
+}
+
+func TestProjectedPopulation(t *testing.T) {
+	if got := ProjectedPopulation(10e6, 120.0/10e6); got != 120 {
+		t.Errorf("ProjectedPopulation = %d, want 120", got)
+	}
+	if got := ProjectedPopulation(0, 0.1); got != 1 {
+		t.Errorf("floor = %d, want 1", got)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	for _, mean := range []float64{0.5, 4, 20, 200} {
+		var sum float64
+		n := 20000
+		for i := 0; i < n; i++ {
+			sum += float64(Poisson(r, mean))
+		}
+		got := sum / float64(n)
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%v) empirical mean %v", mean, got)
+		}
+	}
+	if Poisson(r, 0) != 0 {
+		t.Error("Poisson(0) != 0")
+	}
+}
