@@ -138,6 +138,7 @@ func optimize(args []string) error {
 	clients := fs.Int("workload", 80, "simultaneous requests")
 	samples := fs.Int("samples", 10, "configurations to evaluate")
 	concurrent := fs.Int("concurrent", 2, "parallel evaluations")
+	repeatPar := fs.Int("repeat-parallel", 0, "worker pool per evaluation's repeats (0 = GOMAXPROCS, 1 = sequential)")
 	seed := fs.Int64("seed", 42, "RNG seed")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,12 +162,13 @@ func optimize(args []string) error {
 			Problem: space.PlantNetProblem(),
 			Search: core.SearchSpec{Algorithm: "skopt", BaseEstimator: "ET",
 				NInitialPoints: min(*samples, 10), InitialPointGenerator: "lhs", AcqFunc: "gp_hedge"},
-			NumSamples:    *samples,
-			MaxConcurrent: *concurrent,
-			UseASHA:       true,
-			Repeat:        *repeat,
-			Duration:      *duration,
-			Seed:          *seed,
+			NumSamples:        *samples,
+			MaxConcurrent:     *concurrent,
+			UseASHA:           true,
+			Repeat:            *repeat,
+			RepeatParallelism: *repeatPar,
+			Duration:          *duration,
+			Seed:              *seed,
 		}
 	}
 	spec.ArchiveDir = backup
@@ -266,7 +268,7 @@ func verify(args []string) error {
 			}
 			x[i] = v
 		}
-		got, err := obj(&core.Evaluation{Index: rec.Index, X: x, Repeat: s.Repeat, Duration: s.Duration})
+		got, err := obj(&core.Evaluation{Index: rec.Index, X: x, Repeat: s.Repeat, RepeatParallelism: s.RepeatParallelism, Duration: s.Duration})
 		if err != nil {
 			return err
 		}

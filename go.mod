@@ -1,0 +1,3 @@
+module e2clab
+
+go 1.24.0

@@ -1,0 +1,54 @@
+package bo
+
+import (
+	"math"
+	"testing"
+
+	"e2clab/internal/space"
+)
+
+// askSurface is a smooth engine-like response surface, cheap enough that
+// the benchmark time is dominated by the optimizer itself.
+func askSurface(x []float64) float64 {
+	return 2.4 + math.Pow(x[0]-54, 2)/800 + math.Pow(x[1]-54, 2)/3000 +
+		math.Pow(x[2]-53, 2)/2500 + math.Pow(x[3]-6, 2)/40
+}
+
+// BenchmarkAskLoop measures a full ask/tell optimization loop — surrogate
+// refit plus acquisition maximization over the default 1000-candidate pool
+// each iteration — the per-cycle cost Listing 1 pays for every model
+// evaluation.
+func BenchmarkAskLoop(b *testing.B) {
+	for _, est := range []string{"ET", "GBRT", "GP"} {
+		b.Run(est, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt, err := New(space.PlantNetProblem().Space, Config{
+					BaseEstimator: est, NInitialPoints: 10, Seed: int64(i + 1)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for k := 0; k < 30; k++ {
+					x := opt.Ask()
+					opt.Tell(x, askSurface(x))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAskLoopLocalRefine exercises the "sampling+local" acquisition
+// optimizer, whose neighbor scoring now also goes through PredictBatch.
+func BenchmarkAskLoopLocalRefine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		opt, err := New(space.PlantNetProblem().Space, Config{
+			BaseEstimator: "ET", NInitialPoints: 10,
+			AcqOptimizer: "sampling+local", Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := 0; k < 30; k++ {
+			x := opt.Ask()
+			opt.Tell(x, askSurface(x))
+		}
+	}
+}

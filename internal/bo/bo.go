@@ -8,12 +8,28 @@
 // The optimizer works for minimization (the paper's objective is minimizing
 // user response time). Maximization problems negate their metric (package
 // optimize does this automatically).
+//
+// # Performance model
+//
+// Ask is the hot path of every optimization cycle: each call fits a fresh
+// surrogate and scores a candidate pool of cfg.NCandidates points. The
+// acquisition loop scores the whole pool through surrogate.PredictBatch, so
+// batch-capable models (forests, GBRT, GP) amortize per-point overhead and
+// shard the pool across CPU cores; candidate and unit buffers are
+// preallocated once and reused across Asks; and the dedup index uses a
+// cheap quantized FNV-1a hash of the value-space point instead of the
+// space.Format string it used to allocate for every draw. An Optimizer is
+// NOT safe for concurrent use — drivers that evaluate in parallel (package
+// tune) serialize Ask/Tell and rely on the constant-liar pending mechanism
+// instead.
 package bo
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
+	"strconv"
 
 	"e2clab/internal/acquisition"
 	"e2clab/internal/rngutil"
@@ -72,9 +88,18 @@ func (c *Config) fillDefaults() {
 	}
 }
 
+// pendingPoint is an asked-but-not-told point. seq preserves ask order so
+// the constant-liar training rows stay in deterministic insertion order
+// even though removal is key-indexed.
+type pendingPoint struct {
+	u   []float64
+	seq uint64
+}
+
 // Optimizer is an ask/tell sequential model-based optimizer.
 type Optimizer struct {
 	space   *space.Space
+	dims    []space.Dimension
 	cfg     Config
 	rng     *rand.Rand
 	factory surrogate.Factory
@@ -85,8 +110,23 @@ type Optimizer struct {
 	initQueue [][]float64 // unit-space initial design, consumed by Ask
 	X         [][]float64 // unit-space evaluated points
 	y         []float64
-	pending   [][]float64 // asked but not yet told (parallel workers)
-	seen      map[string]bool
+	// pending indexes asked-but-not-told points by their dedup key so Tell
+	// removes them in O(1) instead of scanning (parallel ask/tell issues
+	// many Tells against a hot pending set).
+	pending    map[uint64][]pendingPoint
+	nPending   int
+	pendingSeq uint64
+	seen       map[uint64]struct{}
+
+	// Reusable per-Ask buffers: candidate pool in canonical unit space and
+	// value space (parallel slices over flat backing arrays), plus scratch
+	// for key hashing and pending ordering.
+	candU        [][]float64
+	candX        [][]float64
+	candUBack    []float64
+	candXBack    []float64
+	keyBuf       []byte
+	pendingOrder []pendingPoint
 }
 
 // New builds an optimizer over s.
@@ -102,11 +142,13 @@ func New(s *space.Space, cfg Config) (*Optimizer, error) {
 	}
 	o := &Optimizer{
 		space:   s,
+		dims:    s.Dims(),
 		cfg:     cfg,
 		rng:     rngutil.New(cfg.Seed),
 		factory: factory,
 		sampler: smp,
-		seen:    make(map[string]bool),
+		pending: make(map[uint64][]pendingPoint),
+		seen:    make(map[uint64]struct{}),
 	}
 	switch cfg.AcqFunc {
 	case "gp_hedge":
@@ -139,12 +181,12 @@ func (o *Optimizer) Ask() []float64 {
 		u := o.initQueue[0]
 		o.initQueue = o.initQueue[1:]
 		x := o.space.FromUnit(u)
-		if !o.seen[o.key(x)] {
+		if !o.isSeen(x) {
 			o.track(x)
 			return x
 		}
 	}
-	if len(o.y)+len(o.pending) < 2 {
+	if len(o.y)+o.nPending < 2 {
 		return o.randomPoint()
 	}
 	x := o.modelAsk()
@@ -154,8 +196,16 @@ func (o *Optimizer) Ask() []float64 {
 
 // track records x as pending and marks it seen.
 func (o *Optimizer) track(x []float64) {
-	o.pending = append(o.pending, o.space.ToUnit(x))
-	o.seen[o.key(x)] = true
+	k := o.key(x)
+	o.pendingSeq++
+	o.pending[k] = append(o.pending[k], pendingPoint{u: o.space.ToUnit(x), seq: o.pendingSeq})
+	o.nPending++
+	o.seen[k] = struct{}{}
+}
+
+func (o *Optimizer) isSeen(x []float64) bool {
+	_, ok := o.seen[o.key(x)]
+	return ok
 }
 
 func (o *Optimizer) randomPoint() []float64 {
@@ -165,7 +215,7 @@ func (o *Optimizer) randomPoint() []float64 {
 			u[j] = o.rng.Float64()
 		}
 		x := o.space.FromUnit(u)
-		if !o.seen[o.key(x)] {
+		if !o.isSeen(x) {
 			o.track(x)
 			return x
 		}
@@ -179,19 +229,32 @@ func (o *Optimizer) randomPoint() []float64 {
 	return x
 }
 
+// orderedPending returns the pending points sorted by ask order (the
+// deterministic order the old slice representation had for free).
+func (o *Optimizer) orderedPending() []pendingPoint {
+	o.pendingOrder = o.pendingOrder[:0]
+	for _, lst := range o.pending {
+		o.pendingOrder = append(o.pendingOrder, lst...)
+	}
+	sort.Slice(o.pendingOrder, func(a, b int) bool {
+		return o.pendingOrder[a].seq < o.pendingOrder[b].seq
+	})
+	return o.pendingOrder
+}
+
 // modelAsk fits the surrogate and maximizes the acquisition over a random
-// candidate pool.
+// candidate pool, scoring the whole pool in one PredictBatch call.
 func (o *Optimizer) modelAsk() []float64 {
 	// Training set: evaluated points plus constant-liar pending points.
-	n := len(o.X) + len(o.pending)
+	n := len(o.X) + o.nPending
 	X := make([][]float64, 0, n)
 	y := make([]float64, 0, n)
 	X = append(X, o.X...)
 	y = append(y, o.y...)
-	if len(o.pending) > 0 {
+	if o.nPending > 0 {
 		liar := o.bestY()
-		for _, u := range o.pending {
-			X = append(X, u)
+		for _, p := range o.orderedPending() {
+			X = append(X, p.u)
 			y = append(y, liar)
 		}
 	}
@@ -201,118 +264,149 @@ func (o *Optimizer) modelAsk() []float64 {
 	}
 	best := o.bestY()
 
-	cands := o.candidates()
+	units, values := o.candidates()
+	means, stds := surrogate.PredictBatch(model, units)
 	if o.hedge != nil {
 		// Find each base function's favorite candidate, pick via hedge.
-		picks := make([][]float64, len(o.hedge.Funcs))
-		means := make([]float64, len(o.hedge.Funcs))
+		picks := make([]int, len(o.hedge.Funcs))
+		hmeans := make([]float64, len(o.hedge.Funcs))
 		scores := make([]float64, len(o.hedge.Funcs))
 		for i := range scores {
+			picks[i] = -1
 			scores[i] = math.Inf(-1)
 		}
-		for _, u := range cands {
-			m, s := model.PredictWithStd(u)
+		for c := range units {
+			m, s := means[c], stds[c]
 			for i, fn := range o.hedge.Funcs {
 				if sc := fn.Score(m, s, best); sc > scores[i] {
-					scores[i], picks[i], means[i] = sc, u, m
+					scores[i], picks[i], hmeans[i] = sc, c, m
 				}
 			}
 		}
 		choice := o.hedge.Choose()
-		o.hedge.Update(means)
-		if picks[choice] == nil {
+		o.hedge.Update(hmeans)
+		if picks[choice] < 0 {
 			return o.randomUntracked()
 		}
-		u := o.localRefine(picks[choice], model, o.hedge.Funcs[choice], best)
-		return o.space.FromUnit(u)
+		c := picks[choice]
+		_, x := o.localRefine(units[c], values[c], model, o.hedge.Funcs[choice], best)
+		return x
 	}
-	var bestU []float64
+	bestIdx := -1
 	bestScore := math.Inf(-1)
-	for _, u := range cands {
-		m, s := model.PredictWithStd(u)
-		if sc := o.acq.Score(m, s, best); sc > bestScore {
-			bestScore, bestU = sc, u
+	for c := range units {
+		if sc := o.acq.Score(means[c], stds[c], best); sc > bestScore {
+			bestScore, bestIdx = sc, c
 		}
 	}
-	if bestU == nil {
+	if bestIdx < 0 {
 		return o.randomUntracked()
 	}
-	bestU = o.localRefine(bestU, model, o.acq, best)
-	return o.space.FromUnit(bestU)
+	_, x := o.localRefine(units[bestIdx], values[bestIdx], model, o.acq, best)
+	return x
 }
 
-// localRefine hill-climbs the acquisition score from u through value-space
-// neighbors (when AcqOptimizer is "sampling+local"): integer dimensions
-// move ±1, floats ±2% of their range, categoricals try every choice.
-// Already-proposed points are skipped.
-func (o *Optimizer) localRefine(u []float64, model surrogate.Model, acq acquisition.Function, best float64) []float64 {
+// localRefine hill-climbs the acquisition score from (u, x) through
+// value-space neighbors (when AcqOptimizer is "sampling+local"): integer
+// dimensions move ±1, floats ±2% of their range, categoricals try every
+// choice. Each step enumerates all neighbor moves of the current point,
+// scores them in one PredictBatch call (steepest ascent), and takes the
+// best improving move. Already-proposed points are skipped. Returns the
+// refined point in unit and value space; the returned slices are fresh
+// copies the caller may retain.
+func (o *Optimizer) localRefine(u, x []float64, model surrogate.Model, acq acquisition.Function, best float64) ([]float64, []float64) {
+	cur := append([]float64(nil), u...)
+	curX := append([]float64(nil), x...)
 	if o.cfg.AcqOptimizer != "sampling+local" {
-		return u
+		return cur, curX
 	}
-	score := func(uu []float64) float64 {
-		m, s := model.PredictWithStd(uu)
-		return acq.Score(m, s, best)
-	}
-	cur := u
-	curScore := score(cur)
+	m0, s0 := model.PredictWithStd(cur)
+	curScore := acq.Score(m0, s0, best)
+	var nbrU, nbrX [][]float64
 	for step := 0; step < 32; step++ {
-		improved := false
-		x := o.space.FromUnit(cur)
-		for j := 0; j < o.space.Len(); j++ {
-			d := o.space.Dim(j)
+		nbrU, nbrX = nbrU[:0], nbrX[:0]
+		for j := range o.dims {
+			d := o.dims[j]
 			var moves []float64
 			switch d.Kind {
 			case space.IntKind:
-				moves = []float64{x[j] - 1, x[j] + 1}
+				moves = []float64{curX[j] - 1, curX[j] + 1}
 			case space.CategoricalKind:
 				for c := 0; c < len(d.Categories); c++ {
-					if float64(c) != x[j] {
+					if float64(c) != curX[j] {
 						moves = append(moves, float64(c))
 					}
 				}
 			default:
 				st := (d.High - d.Low) * 0.02
-				moves = []float64{x[j] - st, x[j] + st}
+				moves = []float64{curX[j] - st, curX[j] + st}
 			}
 			for _, mv := range moves {
-				if !d.Contains(d.Clip(mv)) {
+				mv = d.Clip(mv)
+				if !d.Contains(mv) || mv == curX[j] {
 					continue
 				}
-				x2 := append([]float64(nil), x...)
-				x2[j] = d.Clip(mv)
-				if o.seen[o.key(x2)] {
+				x2 := append([]float64(nil), curX...)
+				x2[j] = mv
+				if o.isSeen(x2) {
 					continue
 				}
-				u2 := o.space.ToUnit(x2)
-				if sc := score(u2); sc > curScore {
-					cur, curScore = u2, sc
-					x = x2
-					improved = true
-				}
+				u2 := append([]float64(nil), cur...)
+				u2[j] = d.ToUnit(mv)
+				nbrU = append(nbrU, u2)
+				nbrX = append(nbrX, x2)
 			}
 		}
-		if !improved {
+		if len(nbrU) == 0 {
 			break
 		}
+		means, stds := surrogate.PredictBatch(model, nbrU)
+		bestIdx := -1
+		for i := range nbrU {
+			if sc := acq.Score(means[i], stds[i], best); sc > curScore {
+				curScore, bestIdx = sc, i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		cur, curX = nbrU[bestIdx], nbrX[bestIdx]
 	}
-	return cur
+	return cur, curX
 }
 
-// candidates draws the random pool, excluding already-proposed points.
-func (o *Optimizer) candidates() [][]float64 {
-	out := make([][]float64, 0, o.cfg.NCandidates)
-	for i := 0; i < o.cfg.NCandidates*4 && len(out) < o.cfg.NCandidates; i++ {
-		u := make([]float64, o.space.Len())
-		for j := range u {
-			u[j] = o.rng.Float64()
+// candidates draws the random pool, excluding already-proposed points. It
+// returns parallel slices: the canonical unit-space points handed to the
+// surrogate and their value-space counterparts, converted exactly once per
+// draw (per dimension: unit -> value -> canonical unit in a single pass).
+// Both views are backed by buffers reused across Asks; callers must copy
+// any row they retain past the next Ask.
+func (o *Optimizer) candidates() (units, values [][]float64) {
+	d := o.space.Len()
+	nc := o.cfg.NCandidates
+	if o.candUBack == nil {
+		o.candUBack = make([]float64, nc*d)
+		o.candXBack = make([]float64, nc*d)
+		o.candU = make([][]float64, 0, nc)
+		o.candX = make([][]float64, 0, nc)
+	}
+	o.candU, o.candX = o.candU[:0], o.candX[:0]
+	for i := 0; i < nc*4 && len(o.candU) < nc; i++ {
+		k := len(o.candU)
+		urow := o.candUBack[k*d : (k+1)*d : (k+1)*d]
+		xrow := o.candXBack[k*d : (k+1)*d : (k+1)*d]
+		for j := 0; j < d; j++ {
+			xv := o.dims[j].FromUnit(o.rng.Float64())
+			xrow[j] = xv
+			urow[j] = o.dims[j].ToUnit(xv)
 		}
-		x := o.space.FromUnit(u)
-		if o.seen[o.key(x)] {
+		if o.isSeen(xrow) {
 			continue
 		}
-		out = append(out, o.space.ToUnit(x))
+		o.candU = append(o.candU, urow)
+		o.candX = append(o.candX, xrow)
 	}
-	return out
+	return o.candU, o.candX
 }
 
 func (o *Optimizer) randomUntracked() []float64 {
@@ -327,14 +421,17 @@ func (o *Optimizer) randomUntracked() []float64 {
 // point.
 func (o *Optimizer) Tell(x []float64, yv float64) {
 	u := o.space.ToUnit(x)
-	// Drop the matching pending entry, if any.
-	for i, p := range o.pending {
-		if equal(p, u) {
-			o.pending = append(o.pending[:i], o.pending[i+1:]...)
-			break
+	k := o.key(x)
+	// Drop the matching pending entry, if any: key-indexed, oldest first.
+	if lst := o.pending[k]; len(lst) > 0 {
+		if len(lst) == 1 {
+			delete(o.pending, k)
+		} else {
+			o.pending[k] = lst[1:]
 		}
+		o.nPending--
 	}
-	o.seen[o.key(x)] = true
+	o.seen[k] = struct{}{}
 	o.X = append(o.X, u)
 	o.y = append(o.y, yv)
 }
@@ -400,16 +497,36 @@ func (o *Optimizer) Evaluations() ([][]float64, []float64) {
 	return X, append([]float64(nil), o.y...)
 }
 
-func (o *Optimizer) key(x []float64) string { return o.space.Format(x) }
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
 
-func equal(a, b []float64) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
+// key hashes a value-space point into the dedup key used by the seen map
+// and the pending index. Integer and categorical dimensions hash their
+// exact value; float dimensions are quantized to the 4 significant digits
+// space.Format prints, so dedup semantics match the Format-string keys this
+// replaced — without the fmt round trip and string allocation per draw.
+func (o *Optimizer) key(x []float64) uint64 {
+	h := uint64(fnvOffset64)
+	for i, v := range x {
+		switch o.dims[i].Kind {
+		case space.IntKind, space.CategoricalKind:
+			u := uint64(int64(v))
+			for s := 0; s < 64; s += 8 {
+				h ^= (u >> s) & 0xff
+				h *= fnvPrime64
+			}
+		default:
+			o.keyBuf = strconv.AppendFloat(o.keyBuf[:0], v, 'g', 4, 64)
+			for _, c := range o.keyBuf {
+				h ^= uint64(c)
+				h *= fnvPrime64
+			}
 		}
+		// Dimension separator, so (1, 12) and (11, 2) hash differently.
+		h ^= 0xff
+		h *= fnvPrime64
 	}
-	return true
+	return h
 }

@@ -128,9 +128,13 @@ type Optimizer struct {
 	MaxConcurrent int           `json:"max_concurrent,omitempty"`
 	UseASHA       bool          `json:"use_asha,omitempty"`
 	Repeat        int           `json:"repeat,omitempty"`
-	Duration      float64       `json:"duration,omitempty"`
-	Seed          int64         `json:"seed,omitempty"`
-	ArchiveDir    string        `json:"archive_dir,omitempty"`
+	// RepeatParallelism bounds the worker pool each evaluation uses for its
+	// repeated experiments (0 = GOMAXPROCS, 1 = sequential); tune it down
+	// when max_concurrent already saturates the machine.
+	RepeatParallelism int     `json:"repeat_parallelism,omitempty"`
+	Duration          float64 `json:"duration,omitempty"`
+	Seed              int64   `json:"seed,omitempty"`
+	ArchiveDir        string  `json:"archive_dir,omitempty"`
 }
 
 // ProblemConfig defines optimization variables, objective, and mode.
@@ -184,13 +188,14 @@ func (o *Optimizer) BuildSpec() (core.Spec, error) {
 			InitialPointGenerator: o.Search.InitialPointGenerator,
 			AcqFunc:               o.Search.AcqFunc,
 		},
-		NumSamples:    o.NumSamples,
-		MaxConcurrent: o.MaxConcurrent,
-		UseASHA:       o.UseASHA,
-		Repeat:        o.Repeat,
-		Duration:      o.Duration,
-		Seed:          o.Seed,
-		ArchiveDir:    o.ArchiveDir,
+		NumSamples:        o.NumSamples,
+		MaxConcurrent:     o.MaxConcurrent,
+		UseASHA:           o.UseASHA,
+		Repeat:            o.Repeat,
+		RepeatParallelism: o.RepeatParallelism,
+		Duration:          o.Duration,
+		Seed:              o.Seed,
+		ArchiveDir:        o.ArchiveDir,
 	}, nil
 }
 

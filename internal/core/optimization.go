@@ -61,7 +61,12 @@ type Spec struct {
 	// the objective (how many times and how long each configuration runs).
 	Repeat   int
 	Duration float64
-	Seed     int64
+	// RepeatParallelism bounds the worker pool each evaluation may use to
+	// run its Repeat independent experiments concurrently (see
+	// plantnet.RunOptions.MaxParallel); 0 uses GOMAXPROCS. Tune it down
+	// when MaxConcurrent already saturates the machine.
+	RepeatParallelism int
+	Seed              int64
 	// ArchiveDir is where Phase I-III artifacts are stored; empty disables
 	// archiving.
 	ArchiveDir string
@@ -79,6 +84,9 @@ type Evaluation struct {
 	// Repeat and Duration echo the Spec for the deployment logic.
 	Repeat   int
 	Duration float64
+	// RepeatParallelism echoes Spec.RepeatParallelism for objectives that
+	// run their repeats on a worker pool.
+	RepeatParallelism int
 	// Report exposes intermediate metric reporting to the ASHA scheduler.
 	Report func(iteration int, value float64) bool
 }
@@ -189,11 +197,12 @@ func (m *Manager) wrap(obj Objective) tune.Objective {
 		m.evals++
 		m.mu.Unlock()
 		ev := &Evaluation{
-			Index:    idx,
-			X:        append([]float64(nil), x...),
-			Repeat:   m.spec.Repeat,
-			Duration: m.spec.Duration,
-			Report:   ctx.Report,
+			Index:             idx,
+			X:                 append([]float64(nil), x...),
+			Repeat:            m.spec.Repeat,
+			Duration:          m.spec.Duration,
+			RepeatParallelism: m.spec.RepeatParallelism,
+			Report:            ctx.Report,
 		}
 		if m.archive != nil {
 			dir, err := m.archive.Prepare(idx) // prepare()
@@ -344,22 +353,23 @@ func (m *Manager) buildSummary(res *Result) provenance.Summary {
 		sched = "async_hyperband"
 	}
 	return provenance.Summary{
-		Name:          p.Name,
-		Variables:     vars,
-		Objective:     p.Objectives[0].Name,
-		Mode:          p.Objectives[0].Mode.String(),
-		Constraints:   constraints,
-		SampleMethod:  m.spec.Search.InitialPointGenerator,
-		SearchAlg:     m.spec.Search.Algorithm,
-		Hyperparams:   hyper,
-		Scheduler:     sched,
-		NumSamples:    m.spec.NumSamples,
-		MaxConcurrent: m.spec.MaxConcurrent,
-		Repeat:        m.spec.Repeat,
-		Duration:      m.spec.Duration,
-		Seed:          m.spec.Seed,
-		BestConfig:    p.Space.Map(res.Best),
-		BestObjective: res.BestY,
-		Evaluations:   m.evals,
+		Name:              p.Name,
+		Variables:         vars,
+		Objective:         p.Objectives[0].Name,
+		Mode:              p.Objectives[0].Mode.String(),
+		Constraints:       constraints,
+		SampleMethod:      m.spec.Search.InitialPointGenerator,
+		SearchAlg:         m.spec.Search.Algorithm,
+		Hyperparams:       hyper,
+		Scheduler:         sched,
+		NumSamples:        m.spec.NumSamples,
+		MaxConcurrent:     m.spec.MaxConcurrent,
+		Repeat:            m.spec.Repeat,
+		RepeatParallelism: m.spec.RepeatParallelism,
+		Duration:          m.spec.Duration,
+		Seed:              m.spec.Seed,
+		BestConfig:        p.Space.Map(res.Best),
+		BestObjective:     res.BestY,
+		Evaluations:       m.evals,
 	}
 }

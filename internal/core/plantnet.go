@@ -84,10 +84,11 @@ func PlantNetObjective(clients int, seed int64) Objective {
 		// evaluations are independent yet reproducible.
 		s := rngutil.NewSeeder(seed + int64(ev.Index)*7919)
 		rep, err := plantnet.RunRepeated(plantnet.RunOptions{
-			Pools:    cfg,
-			Clients:  clients,
-			Duration: ev.Duration,
-			Seed:     s.Next(),
+			Pools:       cfg,
+			Clients:     clients,
+			Duration:    ev.Duration,
+			MaxParallel: ev.RepeatParallelism,
+			Seed:        s.Next(),
 		}, ev.Repeat)
 		if err != nil {
 			return 0, err

@@ -125,21 +125,23 @@ func NewCholesky(a *Matrix) (*Cholesky, error) {
 	n := a.Rows
 	l := NewMatrix(n, n)
 	for j := 0; j < n; j++ {
+		lj := l.Row(j)
 		d := a.At(j, j)
 		for k := 0; k < j; k++ {
-			d -= l.At(j, k) * l.At(j, k)
+			d -= lj[k] * lj[k]
 		}
 		if d <= 0 || math.IsNaN(d) {
 			return nil, fmt.Errorf("linalg: matrix not positive definite at pivot %d (d=%g)", j, d)
 		}
 		ljj := math.Sqrt(d)
-		l.Set(j, j, ljj)
+		lj[j] = ljj
 		for i := j + 1; i < n; i++ {
+			li := l.Row(i)
 			s := a.At(i, j)
 			for k := 0; k < j; k++ {
-				s -= l.At(i, k) * l.At(j, k)
+				s -= li[k] * lj[k]
 			}
-			l.Set(i, j, s/ljj)
+			li[j] = s / ljj
 		}
 	}
 	return &Cholesky{L: l}, nil
@@ -154,11 +156,12 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 	// Forward substitution: L y = b.
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
+		li := c.L.Row(i)
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= c.L.At(i, k) * y[k]
+			s -= li[k] * y[k]
 		}
-		y[i] = s / c.L.At(i, i)
+		y[i] = s / li[i]
 	}
 	// Back substitution: Lᵀ x = y.
 	x := make([]float64, n)
@@ -172,17 +175,75 @@ func (c *Cholesky) Solve(b []float64) []float64 {
 	return x
 }
 
+// SolveBatch solves A X = B column-wise for an n x m right-hand-side matrix,
+// reusing the factorization across all columns. Column j of the result is
+// bit-identical to Solve applied to column j of b: the per-column operation
+// order matches the single-RHS path exactly.
+func (c *Cholesky) SolveBatch(b *Matrix) *Matrix {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("linalg: cholesky batch solve shape mismatch %d rows, want %d", b.Rows, n))
+	}
+	y := c.SolveLBatch(b)
+	// Back substitution: Lᵀ X = Y, all columns per row at once.
+	for i := n - 1; i >= 0; i-- {
+		yi := y.Row(i)
+		for k := i + 1; k < n; k++ {
+			lki := c.L.At(k, i)
+			yk := y.Row(k)
+			for j := range yi {
+				yi[j] -= lki * yk[j]
+			}
+		}
+		d := c.L.At(i, i)
+		for j := range yi {
+			yi[j] /= d
+		}
+	}
+	return y
+}
+
+// SolveLBatch solves L Y = B column-wise for an n x m right-hand-side matrix
+// (multi-RHS forward substitution). The GP's batch predictor uses it to
+// reuse one Cholesky factor across a whole candidate pool instead of
+// re-running forward substitution per point. Per column the arithmetic is
+// performed in the same order as SolveVecL, so results are bit-identical.
+func (c *Cholesky) SolveLBatch(b *Matrix) *Matrix {
+	n := c.L.Rows
+	if b.Rows != n {
+		panic(fmt.Sprintf("linalg: cholesky batch solve shape mismatch %d rows, want %d", b.Rows, n))
+	}
+	y := b.Clone()
+	for i := 0; i < n; i++ {
+		li := c.L.Row(i)
+		yi := y.Row(i)
+		for k := 0; k < i; k++ {
+			lik := li[k]
+			yk := y.Row(k)
+			for j := range yi {
+				yi[j] -= lik * yk[j]
+			}
+		}
+		d := li[i]
+		for j := range yi {
+			yi[j] /= d
+		}
+	}
+	return y
+}
+
 // SolveVecL solves L y = b (forward substitution only), used by the GP for
 // predictive variance.
 func (c *Cholesky) SolveVecL(b []float64) []float64 {
 	n := c.L.Rows
 	y := make([]float64, n)
 	for i := 0; i < n; i++ {
+		li := c.L.Row(i)
 		s := b[i]
 		for k := 0; k < i; k++ {
-			s -= c.L.At(i, k) * y[k]
+			s -= li[k] * y[k]
 		}
-		y[i] = s / c.L.At(i, i)
+		y[i] = s / li[i]
 	}
 	return y
 }
@@ -209,7 +270,12 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	}
 	r := a.Clone()
 	qtb := append([]float64(nil), b...)
-	// Householder reflections applied in place to R and qtb.
+	// Householder reflections applied in place to R and qtb. The reflector
+	// applications are organized as row-major passes (one scratch entry per
+	// trailing column) so the inner loops walk contiguous row slices; per
+	// column the accumulation order over rows matches the textbook
+	// column-at-a-time formulation exactly.
+	scratch := make([]float64, n)
 	for k := 0; k < n; k++ {
 		// Compute the norm of column k below the diagonal.
 		var norm float64
@@ -226,28 +292,36 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 			norm = -norm
 		}
 		for i := k; i < m; i++ {
-			r.Set(i, k, r.At(i, k)/norm)
+			ri := r.Row(i)
+			ri[k] /= norm
 		}
 		r.Set(k, k, r.At(k, k)+1)
-		// Apply reflector to remaining columns.
+		// Accumulate vᵀ·column for every remaining column and for b in one
+		// row-major sweep, then apply the rank-1 update in a second sweep.
 		for j := k + 1; j < n; j++ {
-			var s float64
-			for i := k; i < m; i++ {
-				s += r.At(i, k) * r.At(i, j)
-			}
-			s = -s / r.At(k, k)
-			for i := k; i < m; i++ {
-				r.Set(i, j, r.At(i, j)+s*r.At(i, k))
-			}
+			scratch[j] = 0
 		}
-		// Apply reflector to b.
-		var s float64
+		var sb float64
 		for i := k; i < m; i++ {
-			s += r.At(i, k) * qtb[i]
+			ri := r.Row(i)
+			v := ri[k]
+			for j := k + 1; j < n; j++ {
+				scratch[j] += v * ri[j]
+			}
+			sb += v * qtb[i]
 		}
-		s = -s / r.At(k, k)
+		pivot := r.At(k, k)
+		for j := k + 1; j < n; j++ {
+			scratch[j] = -scratch[j] / pivot
+		}
+		sb = -sb / pivot
 		for i := k; i < m; i++ {
-			qtb[i] += s * r.At(i, k)
+			ri := r.Row(i)
+			v := ri[k]
+			for j := k + 1; j < n; j++ {
+				ri[j] += scratch[j] * v
+			}
+			qtb[i] += sb * v
 		}
 		r.Set(k, k, norm) // store R's diagonal (negated reflector norm)
 	}
@@ -256,11 +330,12 @@ func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	x := make([]float64, n)
 	const tiny = 1e-12
 	for i := n - 1; i >= 0; i-- {
+		ri := r.Row(i)
 		s := qtb[i]
 		for j := i + 1; j < n; j++ {
-			s -= r.At(i, j) * x[j]
+			s -= ri[j] * x[j]
 		}
-		d := -r.At(i, i)
+		d := -ri[i]
 		if math.Abs(d) < tiny {
 			x[i] = 0 // rank-deficient column: minimum-norm-ish fallback
 			continue

@@ -257,3 +257,81 @@ func TestNewMatrixPanicsOnBadShape(t *testing.T) {
 	}()
 	NewMatrix(0, 3)
 }
+
+// TestSolveLBatchMatchesSolveVecL asserts the multi-RHS forward
+// substitution is bit-identical, column by column, to the single-RHS path.
+func TestSolveLBatchMatchesSolveVecL(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for _, n := range []int{1, 3, 8, 25} {
+		for _, cols := range []int{1, 2, 7} {
+			a := randomSPD(r, n)
+			ch, err := NewCholesky(a)
+			if err != nil {
+				t.Fatalf("n=%d: %v", n, err)
+			}
+			b := NewMatrix(n, cols)
+			for i := range b.Data {
+				b.Data[i] = r.NormFloat64()
+			}
+			y := ch.SolveLBatch(b)
+			for j := 0; j < cols; j++ {
+				col := make([]float64, n)
+				for i := 0; i < n; i++ {
+					col[i] = b.At(i, j)
+				}
+				want := ch.SolveVecL(col)
+				for i := 0; i < n; i++ {
+					if y.At(i, j) != want[i] {
+						t.Fatalf("n=%d col %d row %d: batch %v != single %v", n, j, i, y.At(i, j), want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchMatchesSolve asserts the full multi-RHS solve is
+// bit-identical, column by column, to Solve.
+func TestSolveBatchMatchesSolve(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, n := range []int{1, 4, 12} {
+		a := randomSPD(r, n)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		const cols = 5
+		b := NewMatrix(n, cols)
+		for i := range b.Data {
+			b.Data[i] = r.NormFloat64()
+		}
+		x := ch.SolveBatch(b)
+		for j := 0; j < cols; j++ {
+			col := make([]float64, n)
+			for i := 0; i < n; i++ {
+				col[i] = b.At(i, j)
+			}
+			want := ch.Solve(col)
+			for i := 0; i < n; i++ {
+				if x.At(i, j) != want[i] {
+					t.Fatalf("n=%d col %d row %d: batch %v != single %v", n, j, i, x.At(i, j), want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchShapeMismatchPanics pins the contract for bad shapes.
+func TestSolveBatchShapeMismatchPanics(t *testing.T) {
+	a := randomSPD(rand.New(rand.NewSource(23)), 3)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	ch.SolveLBatch(NewMatrix(2, 2))
+}

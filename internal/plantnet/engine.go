@@ -37,9 +37,14 @@ type RunOptions struct {
 	// TraceRequests records the full Table I task breakdown of the first N
 	// post-warmup completions in Metrics.Traces (0 disables tracing).
 	TraceRequests int
-	Seed          int64
-	Hardware      Hardware    // zero value -> Chifflot()
-	Cal           Calibration // zero value -> DefaultCalibration()
+	// MaxParallel bounds the worker pool RunRepeated uses to execute its
+	// independent seeded runs concurrently; 0 means GOMAXPROCS, 1 forces
+	// sequential execution. A single Run ignores it (the discrete-event
+	// kernel is single-threaded by design).
+	MaxParallel int
+	Seed        int64
+	Hardware    Hardware    // zero value -> Chifflot()
+	Cal         Calibration // zero value -> DefaultCalibration()
 }
 
 func (o *RunOptions) fillDefaults() {

@@ -295,6 +295,53 @@ func TestRunRepeatedAggregates(t *testing.T) {
 	}
 }
 
+// TestRunRepeatedParallelDeterminism asserts the worker-pool execution of
+// RunRepeated is byte-identical to the sequential path for a fixed seed:
+// seeds are derived up front and aggregation happens in run-index order
+// after all runs complete.
+func TestRunRepeatedParallelDeterminism(t *testing.T) {
+	base := RunOptions{Pools: Baseline, Clients: 60, Duration: 150, Seed: 17}
+	seqOpts := base
+	seqOpts.MaxParallel = 1
+	parOpts := base
+	parOpts.MaxParallel = 4
+	seq, err := RunRepeated(seqOpts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunRepeated(parOpts, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.UserResponseTime != par.UserResponseTime {
+		t.Fatalf("pooled summary diverged: %+v != %+v", par.UserResponseTime, seq.UserResponseTime)
+	}
+	if seq.Throughput != par.Throughput {
+		t.Fatalf("throughput diverged: %v != %v", par.Throughput, seq.Throughput)
+	}
+	for i := range seq.Runs {
+		s, p := seq.Runs[i], par.Runs[i]
+		if s.UserResponseTime != p.UserResponseTime || s.Completed != p.Completed ||
+			s.Throughput != p.Throughput || s.RespP99 != p.RespP99 {
+			t.Fatalf("run %d diverged: sequential %+v, parallel %+v", i, s.UserResponseTime, p.UserResponseTime)
+		}
+		if len(s.Samples) != len(p.Samples) {
+			t.Fatalf("run %d sample count diverged: %d != %d", i, len(s.Samples), len(p.Samples))
+		}
+		for k := range s.Samples {
+			a, b := s.Samples[k], p.Samples[k]
+			// RespTime is NaN for windows with no completions; NaN != NaN,
+			// so compare it separately.
+			aResp, bResp := a.RespTime, b.RespTime
+			a.RespTime, b.RespTime = 0, 0
+			sameResp := aResp == bResp || (isNaN(aResp) && isNaN(bResp))
+			if a != b || !sameResp {
+				t.Fatalf("run %d sample %d diverged", i, k)
+			}
+		}
+	}
+}
+
 func TestPaperMeasurementProtocol(t *testing.T) {
 	// Paper: 7 repetitions x 23 min, sampled every 10 s -> 966
 	// measurements (138 per run). With warmup=0 we reproduce the count.

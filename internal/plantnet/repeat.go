@@ -1,6 +1,10 @@
 package plantnet
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"e2clab/internal/rngutil"
 	"e2clab/internal/stats"
 )
@@ -17,23 +21,67 @@ type Repeated struct {
 	Throughput float64
 }
 
-// RunRepeated executes opts.Pools under opts repeats times.
+// RunRepeated executes opts.Pools under opts repeats times. All run seeds
+// are derived up front from opts.Seed, so the runs are independent and
+// execute concurrently on a worker pool bounded by opts.MaxParallel
+// (default GOMAXPROCS). Results are aggregated in run-index order after
+// every run completes, so the output — including the floating-point
+// accumulation order of the pooled statistics — is identical to a
+// sequential execution for a fixed seed. On error, the first failure in
+// run-index order is returned.
 func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
 	seeder := rngutil.NewSeeder(opts.Seed + 7)
-	out := &Repeated{}
-	var pooled stats.Welford
-	var thr float64
-	for i := 0; i < repeats; i++ {
-		o := opts
-		o.Seed = seeder.Next()
-		m, err := Run(o)
+	seeds := make([]int64, repeats)
+	for i := range seeds {
+		seeds[i] = seeder.Next()
+	}
+	runs := make([]*Metrics, repeats)
+	errs := make([]error, repeats)
+	workers := opts.MaxParallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > repeats {
+		workers = repeats
+	}
+	if workers <= 1 {
+		for i := 0; i < repeats; i++ {
+			o := opts
+			o.Seed = seeds[i]
+			runs[i], errs[i] = Run(o)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= repeats {
+						return
+					}
+					o := opts
+					o.Seed = seeds[i]
+					runs[i], errs[i] = Run(o)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out.Runs = append(out.Runs, m)
+	}
+	out := &Repeated{Runs: runs}
+	var pooled stats.Welford
+	var thr float64
+	for _, m := range runs {
 		for _, s := range m.Samples {
 			if !isNaN(s.RespTime) {
 				pooled.Add(s.RespTime)

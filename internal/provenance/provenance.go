@@ -85,8 +85,11 @@ type Summary struct {
 	NumSamples    int               `json:"num_samples"`
 	MaxConcurrent int               `json:"max_concurrent"`
 	Repeat        int               `json:"repeat,omitempty"`
-	Duration      float64           `json:"duration,omitempty"`
-	Seed          int64             `json:"seed"`
+	// RepeatParallelism records the per-evaluation repeat worker-pool bound
+	// so archived runs replay with the same execution setup.
+	RepeatParallelism int     `json:"repeat_parallelism,omitempty"`
+	Duration          float64 `json:"duration,omitempty"`
+	Seed              int64   `json:"seed"`
 	// Results.
 	BestConfig    map[string]float64 `json:"best_config"`
 	BestObjective float64            `json:"best_objective"`

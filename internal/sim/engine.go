@@ -60,6 +60,28 @@ func (e *Engine) At(t float64, fn func()) *Event {
 	return ev
 }
 
+// Reschedule moves a still-pending event to absolute time t (clamped to
+// now), with the same (time, seq) tie semantics as cancelling it and
+// scheduling afresh — but in place, without allocating a new event or
+// leaving a cancelled tombstone in the calendar. It returns false when ev
+// has already fired or been cancelled; the caller should then Schedule a
+// new event. High-frequency reschedulers (SharedResource recomputes its
+// next completion on every job arrival) use this to keep the calendar free
+// of dead entries.
+func (e *Engine) Reschedule(ev *Event, t float64) bool {
+	if ev == nil || ev.cancelled || ev.index < 0 {
+		return false
+	}
+	if t < e.now || math.IsNaN(t) {
+		t = e.now
+	}
+	e.seq++
+	ev.time = t
+	ev.seq = e.seq
+	heap.Fix(&e.events, ev.index)
+	return true
+}
+
 // Step fires the next event. It returns false when the calendar is empty.
 func (e *Engine) Step() bool {
 	for e.events.Len() > 0 {

@@ -369,3 +369,56 @@ func TestLogNormalZeroCV(t *testing.T) {
 		t.Error("CV=0 should be deterministic")
 	}
 }
+
+// TestReschedule covers the in-place calendar move used by SharedResource:
+// same tie semantics as cancel+schedule, no tombstone left behind.
+func TestReschedule(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	a := e.Schedule(1, func() { order = append(order, "a") })
+	e.Schedule(2, func() { order = append(order, "b") })
+	if !e.Reschedule(a, 3) {
+		t.Fatal("reschedule of a pending event should succeed")
+	}
+	e.Run(10)
+	if len(order) != 2 || order[0] != "b" || order[1] != "a" {
+		t.Fatalf("order = %v, want [b a]", order)
+	}
+	// A fired event cannot be rescheduled.
+	if e.Reschedule(a, 5) {
+		t.Fatal("reschedule of a fired event should fail")
+	}
+	// A cancelled event cannot be rescheduled.
+	c := e.Schedule(1, func() { order = append(order, "c") })
+	c.Cancel()
+	if e.Reschedule(c, 2) {
+		t.Fatal("reschedule of a cancelled event should fail")
+	}
+	// Rescheduling to the past clamps to now (fires immediately on Run).
+	d := e.Schedule(100, func() { order = append(order, "d") })
+	if !e.Reschedule(d, -5) {
+		t.Fatal("clamped reschedule should succeed")
+	}
+	e.Run(20)
+	if order[len(order)-1] != "d" {
+		t.Fatalf("clamped event did not fire: %v", order)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("calendar should be empty, %d pending", e.Pending())
+	}
+}
+
+// TestRescheduleTieOrder pins that a rescheduled event behaves like a
+// freshly scheduled one on time ties: it fires after events already queued
+// at that instant.
+func TestRescheduleTieOrder(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	x := e.Schedule(5, func() { order = append(order, "x") })
+	e.Schedule(7, func() { order = append(order, "y") })
+	e.Reschedule(x, 7) // now ties with y, but was (re)scheduled later
+	e.Run(10)
+	if len(order) != 2 || order[0] != "y" || order[1] != "x" {
+		t.Fatalf("order = %v, want [y x]", order)
+	}
+}

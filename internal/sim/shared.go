@@ -25,12 +25,20 @@ type SharedResource struct {
 	// accounting (e.g. number of cores).
 	MaxRate float64
 
-	jobs    map[int64]*sharedJob
-	holds   float64 // weight of persistent loads (see Hold)
-	nextID  int64
-	nextEv  *Event
-	lastT   float64
-	workInt float64 // ∫ delivered rate dt (work-seconds, for utilization)
+	// jobs is a dense, insertion-ordered slice: advance/reschedule walk it
+	// on every resource event, which made the old map representation (with
+	// its per-event iterator overhead and nondeterministic completion
+	// ordering) the single hottest path of a whole optimization run.
+	jobs []*sharedJob
+	// jobWeight is the running Σ job weights, maintained incrementally so
+	// ActiveWeight is O(1) instead of an O(jobs) sum per event. It is reset
+	// to exactly 0 whenever the resource drains, so float drift cannot
+	// accumulate across bursts.
+	jobWeight float64
+	holds     float64 // weight of persistent loads (see Hold)
+	nextEv    *Event
+	lastT     float64
+	workInt   float64 // ∫ delivered rate dt (work-seconds, for utilization)
 }
 
 type sharedJob struct {
@@ -38,6 +46,7 @@ type sharedJob struct {
 	weight    float64
 	rate      float64
 	onDone    func()
+	done      bool // completed or cancelled
 }
 
 // NewSharedResource builds a shared resource on the engine.
@@ -46,7 +55,6 @@ func NewSharedResource(eng *Engine, maxRate float64, totalRate func(float64) flo
 		eng:       eng,
 		TotalRate: totalRate,
 		MaxRate:   maxRate,
-		jobs:      make(map[int64]*sharedJob),
 		lastT:     eng.Now(),
 	}
 }
@@ -81,17 +89,36 @@ func (s *SharedResource) Add(work, weight float64, onDone func()) (cancel func()
 		panic("sim: job weight must be positive")
 	}
 	s.advance()
-	id := s.nextID
-	s.nextID++
-	s.jobs[id] = &sharedJob{remaining: work, weight: weight, onDone: onDone}
+	j := &sharedJob{remaining: work, weight: weight, onDone: onDone}
+	s.jobs = append(s.jobs, j)
+	s.jobWeight += weight
 	s.reschedule()
 	return func() {
-		if _, ok := s.jobs[id]; !ok {
+		if j.done {
 			return
 		}
 		s.advance()
-		delete(s.jobs, id)
+		if j.done { // completed during the advance
+			return
+		}
+		j.done = true
+		s.removeJob(j)
 		s.reschedule()
+	}
+}
+
+// removeJob drops j from the dense slice, preserving insertion order (which
+// keeps completion ordering deterministic), and updates the running weight.
+func (s *SharedResource) removeJob(j *sharedJob) {
+	for i, other := range s.jobs {
+		if other == j {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			break
+		}
+	}
+	s.jobWeight -= j.weight
+	if len(s.jobs) == 0 {
+		s.jobWeight = 0
 	}
 }
 
@@ -123,11 +150,7 @@ func (s *SharedResource) Hold(weight float64) (release func()) {
 
 // ActiveWeight returns the current total weight of running jobs plus holds.
 func (s *SharedResource) ActiveWeight() float64 {
-	w := s.holds
-	for _, j := range s.jobs {
-		w += j.weight
-	}
-	return w
+	return s.holds + s.jobWeight
 }
 
 // ActiveJobs returns the number of running jobs.
@@ -167,38 +190,51 @@ func (s *SharedResource) advance() {
 	total := s.TotalRate(w)
 	s.workInt += total * dt
 	const eps = 1e-12
-	var done []func()
-	for id, j := range s.jobs {
+	// Completions fire in insertion order (the slice order), which — unlike
+	// the old map iteration — makes simultaneous completions deterministic.
+	// Survivors are compacted in place; their remaining work was already
+	// decremented at the old (slower) rate for this slice, which is the
+	// correct PS semantics.
+	kept := s.jobs[:0]
+	for _, j := range s.jobs {
 		j.rate = j.weight * total / w
 		j.remaining -= j.rate * dt
 		if j.remaining <= eps {
-			done = append(done, j.onDone)
-			delete(s.jobs, id)
+			j.done = true
+			s.jobWeight -= j.weight
+			s.eng.Schedule(0, j.onDone)
+		} else {
+			kept = append(kept, j)
 		}
 	}
-	for _, fn := range done {
-		s.eng.Schedule(0, fn)
+	for i := len(kept); i < len(s.jobs); i++ {
+		s.jobs[i] = nil
 	}
-	if len(done) > 0 {
-		// Rates changed for the survivors; their remaining work was already
-		// decremented at the old (slower) rate for this slice, which is the
-		// correct PS semantics.
-		w = s.ActiveWeight()
+	s.jobs = kept
+	if len(s.jobs) == 0 {
+		s.jobWeight = 0
 	}
 }
 
-// reschedule recomputes the next completion event.
+// reschedule recomputes the next completion event, moving the pending
+// event in place when possible so the calendar stays free of cancelled
+// tombstones.
 func (s *SharedResource) reschedule() {
-	if s.nextEv != nil {
-		s.nextEv.Cancel()
-		s.nextEv = nil
-	}
 	if len(s.jobs) == 0 {
-		return // holds alone never complete; nothing to schedule
+		// Holds alone never complete; nothing to schedule.
+		if s.nextEv != nil {
+			s.nextEv.Cancel()
+			s.nextEv = nil
+		}
+		return
 	}
 	w := s.ActiveWeight()
 	total := s.TotalRate(w)
 	if total <= 0 {
+		if s.nextEv != nil {
+			s.nextEv.Cancel()
+			s.nextEv = nil
+		}
 		return
 	}
 	soonest := math.Inf(1)
@@ -208,6 +244,9 @@ func (s *SharedResource) reschedule() {
 		if t < soonest {
 			soonest = t
 		}
+	}
+	if s.nextEv != nil && s.eng.Reschedule(s.nextEv, s.eng.Now()+soonest) {
+		return
 	}
 	s.nextEv = s.eng.Schedule(soonest, func() {
 		s.nextEv = nil

@@ -65,10 +65,21 @@ func newForest(name string, cfg ForestConfig, r *rand.Rand, randomThresholds, bo
 // Name implements Model.
 func (f *Forest) Name() string { return f.name }
 
-// Fit implements Model.
+// Fit implements Model. Trees train concurrently on the package worker
+// pool; results are bit-identical to sequential training because every tree
+// draws only from its own RNG, seeded at construction time.
 func (f *Forest) Fit(X [][]float64, y []float64) error {
-	for _, t := range f.trees {
-		if err := t.Fit(X, y); err != nil {
+	if _, _, err := validate(X, y); err != nil {
+		return err
+	}
+	errs := make([]error, len(f.trees))
+	parallelFor(len(f.trees), 4, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			errs[i] = f.trees[i].Fit(X, y)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}
@@ -99,6 +110,19 @@ func (f *Forest) PredictWithStd(x []float64) (float64, float64) {
 		v = 0
 	}
 	return m, math.Sqrt(v)
+}
+
+// PredictBatch implements BatchPredictor: rows are scored concurrently in
+// shards, each row exactly as PredictWithStd would score it.
+func (f *Forest) PredictBatch(X [][]float64) ([]float64, []float64) {
+	means := make([]float64, len(X))
+	stds := make([]float64, len(X))
+	parallelFor(len(X), 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			means[i], stds[i] = f.PredictWithStd(X[i])
+		}
+	})
+	return means, stds
 }
 
 // NTrees returns the ensemble size.

@@ -85,9 +85,13 @@ func (g *GBRT) Fit(X [][]float64, y []float64) error {
 			return err
 		}
 		g.stages = append(g.stages, tree)
-		for i := range pred {
-			pred[i] += g.cfg.LearningRate * tree.Predict(X[i])
-		}
+		// The per-row update only reads the freshly fitted tree and writes
+		// pred[i], so rows shard cleanly across the worker pool.
+		parallelFor(n, 64, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pred[i] += g.cfg.LearningRate * tree.Predict(X[i])
+			}
+		})
 	}
 	var sse float64
 	for i := range pred {
@@ -110,4 +114,18 @@ func (g *GBRT) Predict(x []float64) float64 {
 // PredictWithStd implements Model.
 func (g *GBRT) PredictWithStd(x []float64) (float64, float64) {
 	return g.Predict(x), g.residualStd
+}
+
+// PredictBatch implements BatchPredictor: rows are scored concurrently in
+// shards; each row accumulates its stages in the same order as Predict.
+func (g *GBRT) PredictBatch(X [][]float64) ([]float64, []float64) {
+	means := make([]float64, len(X))
+	stds := make([]float64, len(X))
+	parallelFor(len(X), 16, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			means[i] = g.Predict(X[i])
+			stds[i] = g.residualStd
+		}
+	})
+	return means, stds
 }

@@ -193,5 +193,71 @@ func (g *GP) PredictWithStd(x []float64) (float64, float64) {
 	return g.yMean + g.yStd*zMean, g.yStd * math.Sqrt(variance)
 }
 
+// PredictBatch implements BatchPredictor. Candidates are sharded across the
+// worker pool; each shard builds its cross-covariance block and runs one
+// multi-RHS forward substitution (Cholesky.SolveLBatch), reusing the factor
+// computed at fit time across the whole pool instead of re-solving per
+// point. Per candidate the arithmetic order matches PredictWithStd, so the
+// outputs are bit-identical.
+func (g *GP) PredictBatch(X [][]float64) ([]float64, []float64) {
+	m := len(X)
+	means := make([]float64, m)
+	stds := make([]float64, m)
+	if !g.ok || m == 0 {
+		return means, stds
+	}
+	n := len(g.X)
+	// Candidates are processed in blocks small enough that the n x block
+	// cross-covariance stays cache-resident through the forward
+	// substitution; blocks shard across the worker pool.
+	const blockCols = 64
+	nBlocks := (m + blockCols - 1) / blockCols
+	parallelFor(nBlocks, 1, func(bLo, bHi int) {
+		for blk := bLo; blk < bHi; blk++ {
+			lo := blk * blockCols
+			hi := lo + blockCols
+			if hi > m {
+				hi = m
+			}
+			cnt := hi - lo
+			// ks holds k(x_j, X_train) column-wise: ks[i][j] pairs training
+			// row i with candidate lo+j.
+			ks := linalg.NewMatrix(n, cnt)
+			zm := make([]float64, cnt)
+			for i := 0; i < n; i++ {
+				ki := ks.Row(i)
+				xi := g.X[i]
+				ai := g.alpha[i]
+				for j := 0; j < cnt; j++ {
+					ki[j] = g.cfg.Kernel.Eval(X[lo+j], xi, g.ls)
+					// Posterior mean ksᵀ α, accumulated per candidate in
+					// training-row order exactly like linalg.Dot.
+					zm[j] += ki[j] * ai
+				}
+			}
+			// Posterior variance: k(x,x) - ||L⁻¹ ks||², one forward
+			// substitution for the whole block.
+			v := g.chol.SolveLBatch(ks)
+			dot := make([]float64, cnt)
+			for i := 0; i < n; i++ {
+				vi := v.Row(i)
+				for j := 0; j < cnt; j++ {
+					dot[j] += vi[j] * vi[j]
+				}
+			}
+			for j := 0; j < cnt; j++ {
+				means[lo+j] = g.yMean + g.yStd*zm[j]
+				x := X[lo+j]
+				variance := g.cfg.Kernel.Eval(x, x, g.ls) - dot[j]
+				if variance < 0 {
+					variance = 0
+				}
+				stds[lo+j] = g.yStd * math.Sqrt(variance)
+			}
+		}
+	})
+	return means, stds
+}
+
 // LengthScale returns the fitted length scale (for tests/diagnostics).
 func (g *GP) LengthScale() float64 { return g.ls }

@@ -8,6 +8,28 @@
 // All models regress y on points in the unit hypercube (package space maps
 // real configurations there) and expose predictive uncertainty so that
 // acquisition functions can trade exploration against exploitation.
+//
+// # Concurrency model
+//
+// Training and prediction parallelize internally across a worker pool sized
+// by GOMAXPROCS (see parallelFor): Forest.Fit trains its trees concurrently,
+// and the BatchPredictor implementations score candidate shards
+// concurrently. Parallelism never changes results — each tree owns a
+// dedicated RNG seeded at construction time exactly as in the sequential
+// code, and batch prediction computes element i of its outputs purely from
+// input row i, so outputs are bit-identical to the sequential paths for a
+// fixed seed. The models themselves are not safe for concurrent external
+// use: callers must not invoke Fit/Predict on the same model from multiple
+// goroutines.
+//
+// # Batch prediction contract
+//
+// Models that can amortize per-call overhead over many points implement
+// BatchPredictor. PredictBatch(X) must return means[i], stds[i] equal (bit
+// for bit) to PredictWithStd(X[i]) for every row; callers such as the
+// acquisition loop in internal/bo rely on this equivalence and use the
+// package-level PredictBatch helper, which falls back to a sequential loop
+// for models without a native batch path.
 package surrogate
 
 import (
@@ -27,6 +49,30 @@ type Model interface {
 	PredictWithStd(x []float64) (mean, std float64)
 	// Name identifies the model in reproducibility summaries.
 	Name() string
+}
+
+// BatchPredictor is implemented by models with a native batched prediction
+// path. PredictBatch returns the posterior mean and standard deviation for
+// every row of X; element i must be bit-identical to PredictWithStd(X[i]).
+// Implementations may parallelize across rows internally.
+type BatchPredictor interface {
+	PredictBatch(X [][]float64) (means, stds []float64)
+}
+
+// PredictBatch scores every row of X under m, using the model's native
+// batch path when it implements BatchPredictor and a sequential
+// PredictWithStd loop otherwise. It is the entry point acquisition
+// optimizers should use to score candidate pools.
+func PredictBatch(m Model, X [][]float64) (means, stds []float64) {
+	if bp, ok := m.(BatchPredictor); ok {
+		return bp.PredictBatch(X)
+	}
+	means = make([]float64, len(X))
+	stds = make([]float64, len(X))
+	for i, x := range X {
+		means[i], stds[i] = m.PredictWithStd(x)
+	}
+	return means, stds
 }
 
 // Factory builds a fresh model; optimizers refit from scratch at every

@@ -1,0 +1,62 @@
+package surrogate
+
+import (
+	"runtime"
+	"sync"
+)
+
+// numWorkers sizes the worker pool shared by parallel fits and batch
+// predictions. It defaults to GOMAXPROCS; tests override it (via
+// setWorkers) to force the sequential path when checking that parallel and
+// sequential execution produce identical results.
+var numWorkers = runtime.GOMAXPROCS(0)
+
+// setWorkers overrides the pool size and returns a restore function. It is
+// a test hook; production code never calls it.
+func setWorkers(n int) (restore func()) {
+	old := numWorkers
+	if n < 1 {
+		n = 1
+	}
+	numWorkers = n
+	return func() { numWorkers = old }
+}
+
+// parallelFor splits [0, n) into contiguous shards and runs fn(lo, hi) on
+// up to numWorkers goroutines, blocking until all shards finish. fn must be
+// safe to run concurrently on disjoint index ranges and must not depend on
+// shard boundaries for its results (every user in this package computes
+// element i of an output slice purely from element i of the inputs, so
+// sharding cannot change results). Ranges smaller than minPerWorker per
+// worker run inline on the caller's goroutine to keep tiny batches free of
+// scheduling overhead.
+func parallelFor(n, minPerWorker int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minPerWorker < 1 {
+		minPerWorker = 1
+	}
+	workers := numWorkers
+	if maxW := n / minPerWorker; workers > maxW {
+		workers = maxW
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

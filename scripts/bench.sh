@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# bench.sh — run the perf-trajectory benchmark suite and emit a JSON
+# snapshot (BENCH_<git-sha>.json by default) so successive PRs can track
+# wall-clock numbers for the hot paths: forest fit, batch prediction, the
+# ask/tell loop, and the end-to-end Listing 1 optimization benchmark.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_$(git rev-parse --short HEAD 2>/dev/null || echo local).json}"
+benchtime="${BENCHTIME:-3x}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+run() { # run <package> <bench regexp>
+    go test -run '^$' -bench "$2" -benchtime "$benchtime" "$1" 2>/dev/null |
+        grep -E '^Benchmark' || true
+}
+
+{
+    run ./internal/surrogate/ 'BenchmarkForestFit|BenchmarkPredictBatch'
+    run ./internal/bo/ 'BenchmarkAskLoop'
+    run . 'BenchmarkTable3Optimization|BenchmarkTable2Baseline'
+} >"$tmp"
+
+# Convert `BenchmarkName<tab>N<tab>ns/op [extra metrics]` lines to JSON.
+{
+    printf '{\n'
+    printf '  "git": "%s",\n' "$(git rev-parse HEAD 2>/dev/null || echo unknown)"
+    printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+    printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+    printf '  "benchmarks": [\n'
+    first=1
+    while read -r name iters ns _unit rest; do
+        [ -n "$name" ] || continue
+        [ $first -eq 1 ] || printf ',\n'
+        first=0
+        printf '    {"name": "%s", "iterations": %s, "ns_per_op": %s}' \
+            "$name" "$iters" "$ns"
+    done <"$tmp"
+    printf '\n  ]\n}\n'
+} >"$out"
+
+echo "wrote $out"
+cat "$out"
