@@ -127,6 +127,14 @@ type Optimizer struct {
 	candXBack    []float64
 	keyBuf       []byte
 	pendingOrder []pendingPoint
+	// model is the cached surrogate: reseedable families (forests, GBRT)
+	// are re-seeded and refit in place each Ask — bit-identical to a fresh
+	// factory construction, without rebuilding the ensemble — while other
+	// families are constructed fresh as before. trainX/trainY are the
+	// constant-liar training buffers, reused across Asks.
+	model  surrogate.Model
+	trainX [][]float64
+	trainY []float64
 }
 
 // New builds an optimizer over s.
@@ -245,21 +253,25 @@ func (o *Optimizer) orderedPending() []pendingPoint {
 // modelAsk fits the surrogate and maximizes the acquisition over a random
 // candidate pool, scoring the whole pool in one PredictBatch call.
 func (o *Optimizer) modelAsk() []float64 {
-	// Training set: evaluated points plus constant-liar pending points.
-	n := len(o.X) + o.nPending
-	X := make([][]float64, 0, n)
-	y := make([]float64, 0, n)
-	X = append(X, o.X...)
-	y = append(y, o.y...)
+	// Training set: evaluated points plus constant-liar pending points, in
+	// buffers reused across Asks.
+	o.trainX = append(o.trainX[:0], o.X...)
+	o.trainY = append(o.trainY[:0], o.y...)
 	if o.nPending > 0 {
 		liar := o.bestY()
 		for _, p := range o.orderedPending() {
-			X = append(X, p.u)
-			y = append(y, liar)
+			o.trainX = append(o.trainX, p.u)
+			o.trainY = append(o.trainY, liar)
 		}
 	}
-	model := o.factory(rngutil.New(o.rng.Int63()))
-	if err := model.Fit(X, y); err != nil {
+	seed := o.rng.Int63()
+	if rs, ok := o.model.(surrogate.Reseeder); ok {
+		rs.Reseed(seed)
+	} else {
+		o.model = o.factory(rngutil.New(seed))
+	}
+	model := o.model
+	if err := model.Fit(o.trainX, o.trainY); err != nil {
 		return o.randomUntracked()
 	}
 	best := o.bestY()

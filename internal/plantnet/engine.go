@@ -143,11 +143,88 @@ type RequestTrace struct {
 }
 
 // request tracks one identification query through the Table I pipeline.
+// Nodes are owned by the engine run's freelist and recycled after each
+// completion, and every stage continuation is bound once per node (the
+// closures read req.rep, which is reassigned on reuse) — so the steady-state
+// request pipeline performs zero heap allocations: no request, no closure,
+// no event, no sharedJob.
 type request struct {
+	e         *engine
 	rep       *replica
 	start     float64
 	taskStart float64
 	tasks     [9]float64 // durations in TaskNames order
+
+	// Stage continuations, in pipeline order (bound once in bind).
+	arrive, httpGranted, preDone, dlGranted, dlDone,
+	exGranted, exDone, procDone, ssGranted, ssCPUDone,
+	ssIODone, postDone, finish func()
+}
+
+// bind builds the stage continuations. Each samples its service time at the
+// same program point the pre-pooling pipeline did, so RNG consumption — and
+// therefore every fixed-seed output — is bit-identical.
+func (req *request) bind() {
+	e := req.e
+	req.httpGranted = func() { e.preProcess(req) }
+	req.arrive = func() {
+		req.taskStart = e.sim.Now()
+		req.rep.http.Request(req.httpGranted)
+	}
+	req.dlGranted = func() { e.download(req) }
+	req.preDone = func() {
+		e.rec(req, 0) // pre-process
+		req.rep.dl.Request(req.dlGranted)
+	}
+	req.exGranted = func() { e.extract(req) }
+	req.dlDone = func() {
+		req.rep.cpu.RemoveHold(e.cal.DownloadCPUWeight)
+		req.rep.dl.Release()
+		e.rec(req, 2) // download
+		req.rep.ex.Request(req.exGranted)
+	}
+	req.procDone = func() {
+		e.rec(req, 5) // process
+		req.rep.ss.Request(req.ssGranted)
+	}
+	req.exDone = func() {
+		req.rep.ex.Release()
+		e.rec(req, 4) // extract
+		req.rep.cpu.Add(e.cal.ProcessWork.Sample(e.rng), 1, req.procDone)
+	}
+	req.ssGranted = func() { e.simsearch(req) }
+	req.ssIODone = func() {
+		req.rep.ss.Release()
+		e.rec(req, 7) // simsearch
+		req.rep.cpu.Add(e.cal.PostProcessWork.Sample(e.rng), 1, req.postDone)
+	}
+	req.ssCPUDone = func() {
+		e.sim.Schedule(e.cal.SimsearchIOTime.Sample(e.rng), req.ssIODone)
+	}
+	req.postDone = func() {
+		e.rec(req, 8) // post-process
+		req.rep.http.Release()
+		e.complete(req)
+	}
+	req.finish = func() {
+		e.completed++
+		resp := e.sim.Now() - req.start
+		e.windowResp.Add(resp)
+		if e.warmupDone {
+			e.respRes.Add(resp)
+			if len(e.traces) < e.traceN {
+				e.traces = append(e.traces, RequestTrace{
+					Start: req.start, Response: resp, Tasks: req.tasks,
+				})
+			}
+		}
+		// Recycle before resubmitting so a closed-loop client reuses its
+		// own node immediately.
+		e.freeReqs = append(e.freeReqs, req)
+		if !e.openLoop {
+			e.submit()
+		}
+	}
 }
 
 // replica is one engine instance on one node: its own pools, CPU and GPU.
@@ -178,6 +255,24 @@ type engine struct {
 	windowResp stats.Welford    // responses completed in current sample window
 	respRes    *stats.Reservoir // per-request response times, post-warmup
 	taskAgg    [9]stats.Welford
+	freeReqs   []*request // recycled request nodes (closures pre-bound)
+}
+
+// newRequest takes a node from the freelist (or builds and binds a fresh
+// one) and points it at rep.
+func (e *engine) newRequest(rep *replica) *request {
+	var req *request
+	if n := len(e.freeReqs); n > 0 {
+		req = e.freeReqs[n-1]
+		e.freeReqs = e.freeReqs[:n-1]
+	} else {
+		req = &request{e: e}
+		req.bind()
+	}
+	req.rep = rep
+	req.start = e.sim.Now()
+	req.tasks = [9]float64{}
+	return req
 }
 
 // Run executes one experiment and returns its metrics.
@@ -221,7 +316,7 @@ func Run(opts RunOptions) (*Metrics, error) {
 			ss:   sim.NewPool(se, "simsearch", opts.Pools.Simsearch),
 		}
 		// Pinned per-extract-worker CPU overhead (busy polling, marshaling).
-		rep.cpu.Hold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
+		rep.cpu.AddHold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
 		e.reps = append(e.reps, rep)
 	}
 
@@ -381,12 +476,9 @@ func Run(opts RunOptions) (*Metrics, error) {
 func (e *engine) submit() {
 	rep := e.reps[e.next%len(e.reps)]
 	e.next++
-	req := &request{rep: rep, start: e.sim.Now()}
+	req := e.newRequest(rep)
 	// Client -> engine network half-RTT.
-	e.sim.Schedule(e.cal.NetworkRTT/2, func() {
-		req.taskStart = e.sim.Now()
-		rep.http.Request(func() { e.preProcess(req) })
-	})
+	e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
 }
 
 // rec records the duration of task idx and resets the task clock.
@@ -406,67 +498,27 @@ func (e *engine) preProcess(req *request) {
 	// HTTP slot acquired; queueing before this point is part of the user
 	// response time but not a Table I step.
 	req.taskStart = e.sim.Now()
-	req.rep.cpu.Add(e.cal.PreProcessWork.Sample(e.rng), 1, func() {
-		e.rec(req, 0) // pre-process
-		req.rep.dl.Request(func() { e.download(req) })
-	})
+	req.rep.cpu.Add(e.cal.PreProcessWork.Sample(e.rng), 1, req.preDone)
 }
 
 func (e *engine) download(req *request) {
 	e.rec(req, 1) // wait-download
-	releaseCPU := req.rep.cpu.Hold(e.cal.DownloadCPUWeight)
-	e.sim.Schedule(e.cal.DownloadTime.Sample(e.rng), func() {
-		releaseCPU()
-		req.rep.dl.Release()
-		e.rec(req, 2) // download
-		req.rep.ex.Request(func() { e.extract(req) })
-	})
+	req.rep.cpu.AddHold(e.cal.DownloadCPUWeight)
+	e.sim.Schedule(e.cal.DownloadTime.Sample(e.rng), req.dlDone)
 }
 
 func (e *engine) extract(req *request) {
 	e.rec(req, 3) // wait-extract
-	req.rep.gpu.Add(e.cal.ExtractWork.Sample(e.rng), 1, func() {
-		req.rep.ex.Release()
-		e.rec(req, 4) // extract
-		req.rep.cpu.Add(e.cal.ProcessWork.Sample(e.rng), 1, func() {
-			e.rec(req, 5) // process
-			req.rep.ss.Request(func() { e.simsearch(req) })
-		})
-	})
+	req.rep.gpu.Add(e.cal.ExtractWork.Sample(e.rng), 1, req.exDone)
 }
 
 func (e *engine) simsearch(req *request) {
 	e.rec(req, 6) // wait-simsearch
-	req.rep.cpu.Add(e.cal.SimsearchCPUWork.Sample(e.rng), 1, func() {
-		e.sim.Schedule(e.cal.SimsearchIOTime.Sample(e.rng), func() {
-			req.rep.ss.Release()
-			e.rec(req, 7) // simsearch
-			req.rep.cpu.Add(e.cal.PostProcessWork.Sample(e.rng), 1, func() {
-				e.rec(req, 8) // post-process
-				req.rep.http.Release()
-				e.complete(req)
-			})
-		})
-	})
+	req.rep.cpu.Add(e.cal.SimsearchCPUWork.Sample(e.rng), 1, req.ssCPUDone)
 }
 
 func (e *engine) complete(req *request) {
 	// Engine -> client network half-RTT, then the client sees the response
 	// and immediately issues the next request.
-	e.sim.Schedule(e.cal.NetworkRTT/2, func() {
-		e.completed++
-		resp := e.sim.Now() - req.start
-		e.windowResp.Add(resp)
-		if e.warmupDone {
-			e.respRes.Add(resp)
-			if len(e.traces) < e.traceN {
-				e.traces = append(e.traces, RequestTrace{
-					Start: req.start, Response: resp, Tasks: req.tasks,
-				})
-			}
-		}
-		if !e.openLoop {
-			e.submit()
-		}
-	})
+	e.sim.Schedule(e.cal.NetworkRTT/2, req.finish)
 }

@@ -1,0 +1,91 @@
+package plantnet
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGoldenBitIdentical pins plantnet.Run outputs bit-for-bit against values
+// captured from the pre-ladder-calendar kernel (binary event heap, allocating
+// sharedJob/request paths, commit 599e73d). The zero-allocation rework of the
+// simulation kernel must not change a single bit of any fixed-seed result:
+// event firing order is (time, seq), RNG draws happen at the same program
+// points, and all floating-point accumulations keep their order. If this test
+// fails, the kernel's determinism contract is broken — do not "update" the
+// values without understanding exactly which reordering caused the drift.
+func TestGoldenBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opts RunOptions
+
+		completed            int
+		respMean, respStd    float64
+		p50, p95, p99        float64
+		throughput           float64
+		cpuUtil, gpuUtil     float64
+		extractBusy, energyJ float64
+		extractTaskMean      float64
+		nSamples             int
+	}{
+		{
+			name:      "baseline80",
+			opts:      RunOptions{Pools: Baseline, Clients: 80, Duration: 200, Seed: 7},
+			completed: 5957,
+			respMean:  2.6661163636455987, respStd: 0.017318058883301259,
+			p50: 2.6535093224944006, p95: 3.016898252596897, p99: 3.1954097412446147,
+			throughput: 30, cpuUtil: 0.95392777774525928, gpuUtil: 0.90917691187082017,
+			extractBusy: 0.89524800186839915, energyJ: 10.657057671568056,
+			extractTaskMean: 0.20892385530610758, nSamples: 13,
+		},
+		{
+			name:      "prelim120",
+			opts:      RunOptions{Pools: PreliminaryOptimum, Clients: 120, Duration: 150, Seed: 3},
+			completed: 4719,
+			respMean:  3.7881800186326182, respStd: 0.019137368474954442,
+			p50: 3.7799589872359576, p95: 4.1276176571516316, p99: 4.2914015519222142,
+			throughput: 31.712499999999999, cpuUtil: 0.98672745913812698, gpuUtil: 0.9615384615384589,
+			extractBusy: 1.0000000000000067, energyJ: 10.358551297736796,
+			extractTaskMean: 0.22081591637258235, nSamples: 8,
+		},
+		{
+			name:      "openloop",
+			opts:      RunOptions{Pools: Baseline, OpenLoopRate: 12, Duration: 120, Seed: 11, Replicas: 2, TraceRequests: 4},
+			completed: 1411,
+			respMean:  1.2640183769295184, respStd: 0.01529409463394767,
+			p50: 1.2513409557620747, p95: 1.550994470016287, p99: 1.7176824037469938,
+			throughput: 11.960000000000001, cpuUtil: 0.40428531335637152, gpuUtil: 0.18350911986641405,
+			extractBusy: 0.15729353131406901, energyJ: 30.24487591919727,
+			extractTaskMean: 0.1835152950009338, nSamples: 5,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m, err := Run(c.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Completed != c.completed {
+				t.Errorf("Completed = %d, want %d", m.Completed, c.completed)
+			}
+			if len(m.Samples) != c.nSamples {
+				t.Errorf("len(Samples) = %d, want %d", len(m.Samples), c.nSamples)
+			}
+			exact := func(field string, got, want float64) {
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Errorf("%s = %.17g, want %.17g (bit-exact)", field, got, want)
+				}
+			}
+			exact("UserResponseTime.Mean", m.UserResponseTime.Mean, c.respMean)
+			exact("UserResponseTime.StdDev", m.UserResponseTime.StdDev, c.respStd)
+			exact("RespP50", m.RespP50, c.p50)
+			exact("RespP95", m.RespP95, c.p95)
+			exact("RespP99", m.RespP99, c.p99)
+			exact("Throughput", m.Throughput, c.throughput)
+			exact("CPUUtil.Mean", m.CPUUtil.Mean, c.cpuUtil)
+			exact("GPUUtil.Mean", m.GPUUtil.Mean, c.gpuUtil)
+			exact("ExtractBusy.Mean", m.ExtractBusy.Mean, c.extractBusy)
+			exact("EnergyPerRequestJ", m.EnergyPerRequestJ, c.energyJ)
+			exact("TaskTimes[extract].Mean", m.TaskTimes["extract"].Mean, c.extractTaskMean)
+		})
+	}
+}

@@ -1,0 +1,85 @@
+package sim
+
+import "testing"
+
+// Steady-state allocation contracts of the simulation kernel: once the
+// arena, freelists, and tier capacities are warm, the hot loops — event
+// scheduling/firing, shared-resource job churn, pool grant/release — must
+// not allocate at all. These tests are the allocation-regression gate run by
+// scripts/verify.sh.
+
+var nopFn = func() {}
+
+func requireZeroAllocs(t *testing.T, what string, f func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(100, f); allocs != 0 {
+		t.Errorf("%s: %v allocs/op, want 0", what, allocs)
+	}
+}
+
+func TestZeroAllocScheduleStep(t *testing.T) {
+	e := NewEngine()
+	// Warm every tier: front, ring, overflow (> 8 s horizon), freelist.
+	for i := 0; i < 512; i++ {
+		e.Schedule(float64(i%80)*0.25, nopFn)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "Schedule/Step churn", func() {
+		for i := 0; i < 8; i++ {
+			e.Schedule(float64(i)*0.3, nopFn) // front + ring
+		}
+		e.Schedule(20, nopFn) // overflow, migrates ring-ward
+		for e.Step() {
+		}
+	})
+}
+
+func TestZeroAllocCancelReschedule(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 64; i++ {
+		e.Schedule(float64(i), nopFn)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "Cancel/Reschedule churn", func() {
+		a := e.Schedule(1, nopFn)
+		b := e.Schedule(12, nopFn)
+		e.Reschedule(b, e.Now()+0.5)
+		a.Cancel()
+		for e.Step() {
+		}
+	})
+}
+
+func TestZeroAllocSharedJobChurn(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 4)
+	done := func() {}
+	for i := 0; i < 64; i++ {
+		cpu.Add(1, 1, done)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "sharedJob churn", func() {
+		for i := 0; i < 8; i++ {
+			cpu.Add(0.5, 1, done)
+		}
+		e.Run(e.Now() + 100)
+	})
+}
+
+func TestZeroAllocPoolChurn(t *testing.T) {
+	e := NewEngine()
+	p := NewPool(e, "x", 2)
+	release := p.Release // bind the method value once
+	var hold func()
+	hold = func() { e.Schedule(0.01, release) }
+	for i := 0; i < 16; i++ {
+		p.Request(hold)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "pool grant/release churn", func() {
+		for i := 0; i < 8; i++ {
+			p.Request(hold)
+		}
+		e.Run(e.Now() + 100)
+	})
+}

@@ -287,8 +287,8 @@ func TestSharedResourceCancel(t *testing.T) {
 	var a float64
 	bFired := false
 	cpu.Add(2, 1, func() { a = e.Now() })
-	cancel := cpu.Add(2, 1, func() { bFired = true })
-	e.Schedule(1, cancel)
+	job := cpu.Add(2, 1, func() { bFired = true })
+	e.Schedule(1, job.Cancel)
 	e.Run(100)
 	if bFired {
 		t.Error("cancelled job completed")
@@ -298,7 +298,52 @@ func TestSharedResourceCancel(t *testing.T) {
 		t.Errorf("a done at %v, want 2.5", a)
 	}
 	// Cancelling twice is a no-op.
-	cancel()
+	job.Cancel()
+}
+
+// TestAtNaNInfClamped pins the regression where a NaN (or -Inf) target time
+// bypassed At's `t < now` clamp and corrupted calendar ordering; +Inf stays
+// a valid "beyond any horizon" time.
+func TestAtNaNInfClamped(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Schedule(1, func() {
+		e.At(math.NaN(), func() { order = append(order, "nan") })
+		e.At(math.Inf(-1), func() { order = append(order, "neginf") })
+		e.Schedule(0, func() { order = append(order, "zero") })
+	})
+	infFired := false
+	e.At(math.Inf(1), func() { infFired = true })
+	e.Run(10)
+	// NaN and -Inf clamp to now (t=1) and fire in scheduling order, before
+	// later events but after nothing earlier.
+	want := []string{"nan", "neginf", "zero"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 10 {
+		t.Errorf("clock = %v, want 10", e.Now())
+	}
+	if infFired {
+		t.Error("+Inf event fired within a finite horizon")
+	}
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1 (the +Inf event)", e.Pending())
+	}
+	// NaN delay in Schedule and NaN target in Reschedule stay clamped too.
+	ev := e.Schedule(math.NaN(), func() { order = append(order, "nan-delay") })
+	if !e.Reschedule(ev, math.NaN()) {
+		t.Error("Reschedule to NaN should clamp and succeed")
+	}
+	e.Run(11)
+	if order[len(order)-1] != "nan-delay" {
+		t.Errorf("NaN-delay event did not fire: %v", order)
+	}
 }
 
 func TestSharedResourceZeroWork(t *testing.T) {

@@ -5,11 +5,16 @@ package sim
 // busy-slot time so monitors can report "thread pool busy time" exactly as
 // Figures 9f/9g/10c/10d do.
 type Pool struct {
-	eng   *Engine
-	name  string
-	size  int
-	busy  int
+	eng  *Engine
+	name string
+	size int
+	busy int
+	// queue is a head-indexed FIFO: grants pop by advancing head instead of
+	// re-slicing, so the backing array's capacity is reused and steady-state
+	// queue churn allocates nothing. It compacts when drained (and when head
+	// grows large without draining).
 	queue []func()
+	head  int
 
 	lastT     float64
 	busyInt   float64 // ∫ busy(t) dt
@@ -36,7 +41,7 @@ func (p *Pool) Size() int { return p.size }
 func (p *Pool) Busy() int { return p.busy }
 
 // Queued returns the number of waiting requests.
-func (p *Pool) Queued() int { return len(p.queue) }
+func (p *Pool) Queued() int { return len(p.queue) - p.head }
 
 // Grants returns how many acquisitions have been granted so far.
 func (p *Pool) Grants() int64 { return p.grants }
@@ -53,9 +58,19 @@ func (p *Pool) Request(fn func()) {
 		p.eng.Schedule(0, fn)
 		return
 	}
+	if p.head > 256 && p.head*2 >= len(p.queue) {
+		// Long-lived backlog: slide the live tail down so the dead prefix
+		// doesn't grow without bound.
+		n := copy(p.queue, p.queue[p.head:])
+		for i := n; i < len(p.queue); i++ {
+			p.queue[i] = nil
+		}
+		p.queue = p.queue[:n]
+		p.head = 0
+	}
 	p.queue = append(p.queue, fn)
-	if len(p.queue) > p.maxQueued {
-		p.maxQueued = len(p.queue)
+	if q := len(p.queue) - p.head; q > p.maxQueued {
+		p.maxQueued = q
 	}
 }
 
@@ -65,9 +80,14 @@ func (p *Pool) Release() {
 	if p.busy <= 0 {
 		panic("sim: Release on idle pool " + p.name)
 	}
-	if len(p.queue) > 0 {
-		fn := p.queue[0]
-		p.queue = p.queue[1:]
+	if p.head < len(p.queue) {
+		fn := p.queue[p.head]
+		p.queue[p.head] = nil
+		p.head++
+		if p.head == len(p.queue) {
+			p.queue = p.queue[:0]
+			p.head = 0
+		}
 		p.grants++
 		p.eng.Schedule(0, fn)
 		return // slot transfers directly to the waiter
@@ -81,7 +101,7 @@ func (p *Pool) account() {
 	dt := now - p.lastT
 	if dt > 0 {
 		p.busyInt += float64(p.busy) * dt
-		p.queueInt += float64(len(p.queue)) * dt
+		p.queueInt += float64(len(p.queue)-p.head) * dt
 		p.lastT = now
 	}
 }

@@ -30,15 +30,23 @@ type SharedResource struct {
 	// its per-event iterator overhead and nondeterministic completion
 	// ordering) the single hottest path of a whole optimization run.
 	jobs []*sharedJob
+	// freeJobs recycles completed/cancelled job nodes, so steady-state job
+	// churn allocates nothing. Nodes are generation-counted: a stale Job
+	// handle (completed, cancelled, or recycled) is detected in O(1).
+	freeJobs []*sharedJob
 	// jobWeight is the running Σ job weights, maintained incrementally so
 	// ActiveWeight is O(1) instead of an O(jobs) sum per event. It is reset
 	// to exactly 0 whenever the resource drains, so float drift cannot
 	// accumulate across bursts.
 	jobWeight float64
 	holds     float64 // weight of persistent loads (see Hold)
-	nextEv    *Event
-	lastT     float64
-	workInt   float64 // ∫ delivered rate dt (work-seconds, for utilization)
+	nextEv    Event
+	hasNext   bool
+	// completeFn is the next-completion callback, bound once so the
+	// reschedule path never allocates a closure.
+	completeFn func()
+	lastT      float64
+	workInt    float64 // ∫ delivered rate dt (work-seconds, for utilization)
 }
 
 type sharedJob struct {
@@ -46,7 +54,31 @@ type sharedJob struct {
 	weight    float64
 	rate      float64
 	onDone    func()
-	done      bool // completed or cancelled
+	gen       uint32
+}
+
+// Job is a value handle to a submitted job, used to cancel it (failure
+// injection in tests). The zero Job is inert.
+type Job struct {
+	s   *SharedResource
+	j   *sharedJob
+	gen uint32
+}
+
+// Cancel aborts the job if it is still running. Cancelling a completed,
+// cancelled, or zero Job is a no-op.
+func (h Job) Cancel() {
+	if h.j == nil || h.j.gen != h.gen {
+		return
+	}
+	s := h.s
+	s.advance()
+	if h.j.gen != h.gen { // completed during the advance
+		return
+	}
+	s.removeJob(h.j)
+	s.releaseJob(h.j)
+	s.reschedule()
 }
 
 // NewSharedResource builds a shared resource on the engine.
@@ -75,36 +107,45 @@ func NewGPU(eng *Engine, peak float64, ksat float64) *SharedResource {
 	})
 }
 
+func (s *SharedResource) allocJob(work, weight float64, onDone func()) *sharedJob {
+	var j *sharedJob
+	if n := len(s.freeJobs); n > 0 {
+		j = s.freeJobs[n-1]
+		s.freeJobs = s.freeJobs[:n-1]
+	} else {
+		j = &sharedJob{}
+	}
+	j.remaining, j.weight, j.rate, j.onDone = work, weight, 0, onDone
+	return j
+}
+
+// releaseJob retires a node to the freelist; the generation bump invalidates
+// every outstanding handle to it.
+func (s *SharedResource) releaseJob(j *sharedJob) {
+	j.gen++
+	j.onDone = nil
+	s.freeJobs = append(s.freeJobs, j)
+}
+
 // Add submits a job with the given amount of work and weight; onDone fires
-// when the work completes. Returns a cancel function that aborts the job
-// (used for failure injection in tests).
-func (s *SharedResource) Add(work, weight float64, onDone func()) (cancel func()) {
+// when the work completes. The returned handle can Cancel the job (used for
+// failure injection in tests).
+func (s *SharedResource) Add(work, weight float64, onDone func()) Job {
 	if work <= 0 {
 		// Zero-length jobs complete immediately (via the calendar for
 		// deterministic ordering).
 		s.eng.Schedule(0, onDone)
-		return func() {}
+		return Job{}
 	}
 	if weight <= 0 {
 		panic("sim: job weight must be positive")
 	}
 	s.advance()
-	j := &sharedJob{remaining: work, weight: weight, onDone: onDone}
+	j := s.allocJob(work, weight, onDone)
 	s.jobs = append(s.jobs, j)
 	s.jobWeight += weight
 	s.reschedule()
-	return func() {
-		if j.done {
-			return
-		}
-		s.advance()
-		if j.done { // completed during the advance
-			return
-		}
-		j.done = true
-		s.removeJob(j)
-		s.reschedule()
-	}
+	return Job{s: s, j: j, gen: j.gen}
 }
 
 // removeJob drops j from the dense slice, preserving insertion order (which
@@ -122,29 +163,49 @@ func (s *SharedResource) removeJob(j *sharedJob) {
 	}
 }
 
-// Hold adds a persistent load of the given weight: it consumes capacity
+// AddHold adds a persistent load of the given weight: it consumes capacity
 // (slowing completing jobs under contention) without ever finishing — the
-// model for busy-polling worker threads or background daemons. The returned
-// function removes the load; calling it twice is a no-op.
-func (s *SharedResource) Hold(weight float64) (release func()) {
+// model for busy-polling worker threads or background daemons. Each AddHold
+// must be balanced by one RemoveHold with the same weight.
+func (s *SharedResource) AddHold(weight float64) {
 	if weight <= 0 {
-		return func() {}
+		return
 	}
 	s.advance()
 	s.holds += weight
 	s.reschedule()
+}
+
+// RemoveHold releases weight previously added with AddHold. The total hold
+// weight is floored at zero.
+func (s *SharedResource) RemoveHold(weight float64) {
+	if weight <= 0 {
+		return
+	}
+	s.advance()
+	s.holds -= weight
+	if s.holds < 0 {
+		s.holds = 0
+	}
+	s.reschedule()
+}
+
+// Hold is the closure-based convenience form of AddHold/RemoveHold: the
+// returned function removes the load; calling it twice is a no-op. Hot paths
+// that would allocate a closure per call (the engine's download stage) use
+// AddHold/RemoveHold directly.
+func (s *SharedResource) Hold(weight float64) (release func()) {
+	if weight <= 0 {
+		return func() {}
+	}
+	s.AddHold(weight)
 	released := false
 	return func() {
 		if released {
 			return
 		}
 		released = true
-		s.advance()
-		s.holds -= weight
-		if s.holds < 0 {
-			s.holds = 0
-		}
-		s.reschedule()
+		s.RemoveHold(weight)
 	}
 }
 
@@ -200,9 +261,9 @@ func (s *SharedResource) advance() {
 		j.rate = j.weight * total / w
 		j.remaining -= j.rate * dt
 		if j.remaining <= eps {
-			j.done = true
 			s.jobWeight -= j.weight
 			s.eng.Schedule(0, j.onDone)
+			s.releaseJob(j)
 		} else {
 			kept = append(kept, j)
 		}
@@ -222,18 +283,18 @@ func (s *SharedResource) advance() {
 func (s *SharedResource) reschedule() {
 	if len(s.jobs) == 0 {
 		// Holds alone never complete; nothing to schedule.
-		if s.nextEv != nil {
+		if s.hasNext {
 			s.nextEv.Cancel()
-			s.nextEv = nil
+			s.hasNext = false
 		}
 		return
 	}
 	w := s.ActiveWeight()
 	total := s.TotalRate(w)
 	if total <= 0 {
-		if s.nextEv != nil {
+		if s.hasNext {
 			s.nextEv.Cancel()
-			s.nextEv = nil
+			s.hasNext = false
 		}
 		return
 	}
@@ -245,12 +306,16 @@ func (s *SharedResource) reschedule() {
 			soonest = t
 		}
 	}
-	if s.nextEv != nil && s.eng.Reschedule(s.nextEv, s.eng.Now()+soonest) {
+	if s.hasNext && s.eng.Reschedule(s.nextEv, s.eng.Now()+soonest) {
 		return
 	}
-	s.nextEv = s.eng.Schedule(soonest, func() {
-		s.nextEv = nil
-		s.advance()
-		s.reschedule()
-	})
+	if s.completeFn == nil {
+		s.completeFn = func() {
+			s.hasNext = false
+			s.advance()
+			s.reschedule()
+		}
+	}
+	s.nextEv = s.eng.Schedule(soonest, s.completeFn)
+	s.hasNext = true
 }

@@ -27,6 +27,11 @@ func DefaultForestConfig() ForestConfig {
 type Forest struct {
 	name  string
 	trees []*Tree
+	// seedSrc/seedRng replay the construction-time tree seeding on Reseed,
+	// so a cached forest can be re-fit with fresh streams without
+	// reallocating 100 math/rand sources per optimization cycle.
+	seedSrc rand.Source
+	seedRng *rand.Rand
 }
 
 // NewRandomForest builds a Breiman Random Forest: bootstrap resampling with
@@ -57,9 +62,34 @@ func newForest(name string, cfg ForestConfig, r *rand.Rand, randomThresholds, bo
 			RandomThresholds: randomThresholds,
 			Bootstrap:        bootstrap,
 		}
-		f.trees = append(f.trees, NewTree(tc, rand.New(rand.NewSource(r.Int63()))))
+		src := rand.NewSource(r.Int63())
+		t := NewTree(tc, rand.New(src))
+		t.src = src
+		f.trees = append(f.trees, t)
 	}
 	return f
+}
+
+// Reseed implements Reseeder: it re-seeds every tree's RNG source exactly as
+// newForest would with a fresh rand.New(rand.NewSource(seed)), so a
+// subsequent Fit is bit-identical to one on a newly constructed forest —
+// while node arrays, walk mirrors, and sources stay allocated.
+func (f *Forest) Reseed(seed int64) {
+	if f.seedSrc == nil {
+		f.seedSrc = rand.NewSource(seed)
+		f.seedRng = rand.New(f.seedSrc)
+	} else {
+		f.seedSrc.Seed(seed)
+	}
+	for _, t := range f.trees {
+		if t.src == nil { // e.g. a deserialized forest
+			src := rand.NewSource(f.seedRng.Int63())
+			t.src = src
+			t.rng = rand.New(src)
+			continue
+		}
+		t.src.Seed(f.seedRng.Int63())
+	}
 }
 
 // Name implements Model.
@@ -67,15 +97,18 @@ func (f *Forest) Name() string { return f.name }
 
 // Fit implements Model. Trees train concurrently on the package worker
 // pool; results are bit-identical to sequential training because every tree
-// draws only from its own RNG, seeded at construction time.
+// draws only from its own RNG, seeded at construction time. Each worker
+// shard carries one fit scratch through all of its trees, so buffer
+// allocation is per worker, not per tree.
 func (f *Forest) Fit(X [][]float64, y []float64) error {
 	if _, _, err := validate(X, y); err != nil {
 		return err
 	}
 	errs := make([]error, len(f.trees))
 	parallelFor(len(f.trees), 4, func(lo, hi int) {
+		var scratch treeScratch
 		for i := lo; i < hi; i++ {
-			errs[i] = f.trees[i].Fit(X, y)
+			errs[i] = f.trees[i].fit(X, y, &scratch)
 		}
 	})
 	for _, err := range errs {
@@ -113,13 +146,83 @@ func (f *Forest) PredictWithStd(x []float64) (float64, float64) {
 }
 
 // PredictBatch implements BatchPredictor: rows are scored concurrently in
-// shards, each row exactly as PredictWithStd would score it.
+// shards, each row exactly as PredictWithStd would score it. Within a shard
+// the loop runs tree-outer, row-inner: one tree's node array stays
+// cache-resident across the whole candidate pool instead of all trees being
+// cycled through for every row. Per-row accumulation order over trees is
+// unchanged, so results are bit-identical to PredictWithStd.
 func (f *Forest) PredictBatch(X [][]float64) ([]float64, []float64) {
 	means := make([]float64, len(X))
 	stds := make([]float64, len(X))
+	n := float64(len(f.trees))
 	parallelFor(len(X), 16, func(lo, hi int) {
+		// Tree pairs walk each row together: the two descents are
+		// independent dependency chains, so the second hides most of the
+		// first's load-compare-select latency. Accumulation stays in tree
+		// order (t, then t+1), bit-identical to the sequential loop.
+		k := 0
+		for ; k+1 < len(f.trees); k += 2 {
+			t1, t2 := f.trees[k], f.trees[k+1]
+			if len(t1.walk) == 0 || len(t2.walk) == 0 {
+				break
+			}
+			w1, w2 := t1.walk, t2.walk
+			for i := lo; i < hi; i++ {
+				x := X[i]
+				j1, j2 := 0, 0
+				for {
+					n1, n2 := w1[j1], w2[j2]
+					if n1.feat < 0 && n2.feat < 0 {
+						break
+					}
+					if n1.feat >= 0 {
+						if x[n1.feat] <= n1.thr {
+							j1++
+						} else {
+							j1 = int(n1.right)
+						}
+					}
+					if n2.feat >= 0 {
+						if x[n2.feat] <= n2.thr {
+							j2++
+						} else {
+							j2 = int(n2.right)
+						}
+					}
+				}
+				v1 := w1[j1].thr
+				v2 := w2[j2].thr
+				means[i] += v1
+				stds[i] += v1 * v1
+				means[i] += v2
+				stds[i] += v2 * v2
+			}
+		}
+		for ; k < len(f.trees); k++ {
+			t := f.trees[k]
+			if len(t.walk) == 0 {
+				for i := lo; i < hi; i++ {
+					v := t.Predict(X[i])
+					means[i] += v
+					stds[i] += v * v
+				}
+				continue
+			}
+			w := t.walk
+			for i := lo; i < hi; i++ {
+				v := walkPredict(w, X[i])
+				means[i] += v
+				stds[i] += v * v
+			}
+		}
 		for i := lo; i < hi; i++ {
-			means[i], stds[i] = f.PredictWithStd(X[i])
+			m := means[i] / n
+			v := stds[i]/n - m*m
+			if v < 0 {
+				v = 0
+			}
+			means[i] = m
+			stds[i] = math.Sqrt(v)
 		}
 	})
 	return means, stds

@@ -27,9 +27,25 @@ func DefaultGBRTConfig() GBRTConfig {
 type GBRT struct {
 	cfg         GBRTConfig
 	rng         *rand.Rand
+	src         rand.Source // rng's source once Reseed has taken ownership
 	base        float64
 	stages      []*Tree
+	stagePool   []*Tree // recycled stage trees (nodes, walk, RNG sources)
 	residualStd float64
+	scratch     treeScratch // one fit scratch shared by all boosting stages
+	pred, resid []float64   // per-row fit buffers, reused across Fits
+}
+
+// Reseed implements Reseeder: the boosting RNG restarts exactly as a fresh
+// NewGBRT(cfg, rand.New(rand.NewSource(seed))) would, while stage trees and
+// fit buffers stay pooled.
+func (g *GBRT) Reseed(seed int64) {
+	if g.src == nil {
+		g.src = rand.NewSource(seed)
+		g.rng = rand.New(g.src)
+	} else {
+		g.src.Seed(seed)
+	}
 }
 
 // NewGBRT returns an untrained GBRT model.
@@ -52,6 +68,30 @@ func NewGBRT(cfg GBRTConfig, r *rand.Rand) *GBRT {
 // Name implements Model.
 func (g *GBRT) Name() string { return "GBRT" }
 
+// stageTree returns the s-th boosting tree, recycling the pool. The seed
+// draw and source seeding replay exactly what a fresh
+// NewTree(tc, rand.New(rand.NewSource(g.rng.Int63()))) construction does.
+func (g *GBRT) stageTree(s int, tc TreeConfig) *Tree {
+	seed := g.rng.Int63()
+	if s < len(g.stagePool) {
+		t := g.stagePool[s]
+		if t.src != nil {
+			t.src.Seed(seed)
+			t.cfg = tc
+			return t
+		}
+	}
+	src := rand.NewSource(seed)
+	t := NewTree(tc, rand.New(src))
+	t.src = src
+	if s < len(g.stagePool) {
+		g.stagePool[s] = t
+	} else {
+		g.stagePool = append(g.stagePool, t)
+	}
+	return t
+}
+
 // Fit implements Model.
 func (g *GBRT) Fit(X [][]float64, y []float64) error {
 	n, _, err := validate(X, y)
@@ -60,17 +100,21 @@ func (g *GBRT) Fit(X [][]float64, y []float64) error {
 	}
 	g.base = mean(y)
 	g.stages = g.stages[:0]
-	pred := make([]float64, n)
+	if cap(g.pred) < n {
+		g.pred = make([]float64, n)
+		g.resid = make([]float64, n)
+	}
+	pred := g.pred[:n]
 	for i := range pred {
 		pred[i] = g.base
 	}
-	resid := make([]float64, n)
+	resid := g.resid[:n]
 	for s := 0; s < g.cfg.NEstimators; s++ {
 		for i := range resid {
 			resid[i] = y[i] - pred[i]
 		}
 		tc := TreeConfig{MaxDepth: g.cfg.MaxDepth, MinSamplesLeaf: g.cfg.MinSamplesLeaf}
-		tree := NewTree(tc, rand.New(rand.NewSource(g.rng.Int63())))
+		tree := g.stageTree(s, tc)
 		fitX, fitY := X, resid
 		if g.cfg.Subsample < 1 {
 			m := int(math.Max(1, g.cfg.Subsample*float64(n)))
@@ -81,7 +125,7 @@ func (g *GBRT) Fit(X [][]float64, y []float64) error {
 				fitX[i], fitY[i] = X[j], resid[j]
 			}
 		}
-		if err := tree.Fit(fitX, fitY); err != nil {
+		if err := tree.fit(fitX, fitY, &g.scratch); err != nil {
 			return err
 		}
 		g.stages = append(g.stages, tree)
@@ -117,14 +161,28 @@ func (g *GBRT) PredictWithStd(x []float64) (float64, float64) {
 }
 
 // PredictBatch implements BatchPredictor: rows are scored concurrently in
-// shards; each row accumulates its stages in the same order as Predict.
+// shards; each row accumulates its stages in the same order as Predict. The
+// shard loop runs stage-outer, row-inner so one stage's node array stays
+// cache-resident across the whole pool (see Forest.PredictBatch).
 func (g *GBRT) PredictBatch(X [][]float64) ([]float64, []float64) {
 	means := make([]float64, len(X))
 	stds := make([]float64, len(X))
 	parallelFor(len(X), 16, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			means[i] = g.Predict(X[i])
+			means[i] = g.base
 			stds[i] = g.residualStd
+		}
+		for _, t := range g.stages {
+			if len(t.walk) == 0 {
+				for i := lo; i < hi; i++ {
+					means[i] += g.cfg.LearningRate * t.Predict(X[i])
+				}
+				continue
+			}
+			w := t.walk
+			for i := lo; i < hi; i++ {
+				means[i] += g.cfg.LearningRate * walkPredict(w, X[i])
+			}
 		}
 	})
 	return means, stds

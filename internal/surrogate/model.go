@@ -79,6 +79,17 @@ func PredictBatch(m Model, X [][]float64) (means, stds []float64) {
 // iteration, mirroring skopt.
 type Factory func(r *rand.Rand) Model
 
+// Reseeder is implemented by models whose construction-time RNG streams can
+// be reset in place. Reseed(seed) must leave the model drawing exactly the
+// stream a fresh Factory(rand.New(rand.NewSource(seed))) construction would
+// produce, while keeping its internal buffers (tree node arrays, fit
+// scratch, ensemble RNG sources) warm. Optimizers that refit a surrogate
+// every iteration use this to avoid rebuilding the whole ensemble — in
+// particular the 607-word math/rand source per tree — on every Ask.
+type Reseeder interface {
+	Reseed(seed int64)
+}
+
 // ByName maps the estimator names of skopt ("ET", "RF", "GBRT", "GP") plus
 // this package's extras ("TREE", "POLY", "LSSVM") to factories.
 func ByName(name string) (Factory, error) {

@@ -1,0 +1,57 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestReseedMatchesFreshConstruction pins the Reseeder contract: reseeding a
+// cached (already fitted, on different data!) ensemble and refitting must be
+// bit-identical to constructing a fresh model with the same seed. The bo
+// optimizer relies on this to cache its surrogate across Asks.
+func TestReseedMatchesFreshConstruction(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	Xa, ya := trainSet(r, 60, 4, quadratic)
+	Xb, yb := trainSet(r, 90, 4, quadratic)
+	grid := make([][]float64, 200)
+	for i := range grid {
+		grid[i] = []float64{r.Float64(), r.Float64(), r.Float64(), r.Float64()}
+	}
+
+	build := map[string]func(seed int64) Model{
+		"ET":   func(seed int64) Model { return NewExtraTrees(DefaultForestConfig(), rand.New(rand.NewSource(seed))) },
+		"RF":   func(seed int64) Model { return NewRandomForest(DefaultForestConfig(), rand.New(rand.NewSource(seed))) },
+		"GBRT": func(seed int64) Model { return NewGBRT(DefaultGBRTConfig(), rand.New(rand.NewSource(seed))) },
+	}
+	for name, mk := range build {
+		t.Run(name, func(t *testing.T) {
+			// Cached model: constructed and fitted under a different seed
+			// and training set first, then reseeded.
+			cached := mk(1234)
+			if err := cached.Fit(Xa, ya); err != nil {
+				t.Fatal(err)
+			}
+			rs, ok := cached.(Reseeder)
+			if !ok {
+				t.Fatalf("%s does not implement Reseeder", name)
+			}
+			const seed = 77
+			rs.Reseed(seed)
+			if err := cached.Fit(Xb, yb); err != nil {
+				t.Fatal(err)
+			}
+			fresh := mk(seed)
+			if err := fresh.Fit(Xb, yb); err != nil {
+				t.Fatal(err)
+			}
+			for _, x := range grid {
+				cm, cs := cached.PredictWithStd(x)
+				fm, fs := fresh.PredictWithStd(x)
+				if math.Float64bits(cm) != math.Float64bits(fm) || math.Float64bits(cs) != math.Float64bits(fs) {
+					t.Fatalf("%s: reseeded prediction (%v, %v) != fresh (%v, %v)", name, cm, cs, fm, fs)
+				}
+			}
+		})
+	}
+}

@@ -98,6 +98,7 @@ func treeFromState(s treeState) *Tree {
 		t.nodes[i] = treeNode{feature: n.Feature, threshold: n.Threshold,
 			left: n.Left, right: n.Right, value: n.Value, count: n.Count}
 	}
+	t.buildWalk()
 	return t
 }
 

@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bench.sh — run the perf-trajectory benchmark suite and emit a JSON
 # snapshot (BENCH_<git-sha>.json by default) so successive PRs can track
-# wall-clock numbers for the hot paths: forest fit, batch prediction, the
-# ask/tell loop, and the end-to-end Listing 1 optimization benchmark.
+# wall-clock AND allocation numbers for the hot paths: forest fit, batch
+# prediction, the ask/tell loop, and the end-to-end Listing 1 optimization
+# benchmark. Compare two snapshots with scripts/bench_compare.sh.
 #
 # Usage: scripts/bench.sh [output.json]
 set -euo pipefail
@@ -14,7 +15,7 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 run() { # run <package> <bench regexp>
-    go test -run '^$' -bench "$2" -benchtime "$benchtime" "$1" 2>/dev/null |
+    go test -run '^$' -bench "$2" -benchtime "$benchtime" -benchmem "$1" 2>/dev/null |
         grep -E '^Benchmark' || true
 }
 
@@ -24,22 +25,32 @@ run() { # run <package> <bench regexp>
     run . 'BenchmarkTable3Optimization|BenchmarkTable2Baseline'
 } >"$tmp"
 
-# Convert `BenchmarkName<tab>N<tab>ns/op [extra metrics]` lines to JSON.
+# Convert benchmark lines to JSON: the name, iterations, and each of the
+# `<value> <unit>` pairs we track (ns/op, B/op, allocs/op).
 {
     printf '{\n'
     printf '  "git": "%s",\n' "$(git rev-parse HEAD 2>/dev/null || echo unknown)"
     printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
     printf '  "gomaxprocs": %s,\n' "${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
     printf '  "benchmarks": [\n'
-    first=1
-    while read -r name iters ns _unit rest; do
-        [ -n "$name" ] || continue
-        [ $first -eq 1 ] || printf ',\n'
-        first=0
-        printf '    {"name": "%s", "iterations": %s, "ns_per_op": %s}' \
-            "$name" "$iters" "$ns"
-    done <"$tmp"
-    printf '\n  ]\n}\n'
+    awk '
+        {
+            name = $1
+            sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+            iters = $2
+            ns = "null"; bytes = "null"; allocs = "null"
+            for (i = 3; i < NF; i++) {
+                if ($(i+1) == "ns/op") ns = $i
+                else if ($(i+1) == "B/op") bytes = $i
+                else if ($(i+1) == "allocs/op") allocs = $i
+            }
+            if (n++) printf ",\n"
+            printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+                name, iters, ns, bytes, allocs
+        }
+        END { if (n) printf "\n" }
+    ' "$tmp"
+    printf '  ]\n}\n'
 } >"$out"
 
 echo "wrote $out"

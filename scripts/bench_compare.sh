@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff two BENCH_<sha>.json snapshots (scripts/bench.sh
+# output) and flag regressions: any benchmark whose ns_per_op or
+# allocs_per_op grew by more than THRESHOLD (default 10%) fails the check.
+#
+# Usage: scripts/bench_compare.sh OLD.json NEW.json
+#        THRESHOLD=0.25 scripts/bench_compare.sh OLD.json NEW.json
+#
+# Exit status: 0 when no regression, 1 when at least one metric regressed.
+set -euo pipefail
+
+if [ $# -ne 2 ]; then
+    echo "usage: $0 OLD.json NEW.json" >&2
+    exit 2
+fi
+old="$1" new="$2"
+threshold="${THRESHOLD:-0.10}"
+
+# Snapshots are written one benchmark per line, so a line-oriented parse is
+# reliable. Pre-PR-3 snapshots lack the memory fields; those read as null
+# and their allocation check is skipped.
+extract() {
+    awk '
+        /"name":/ {
+            name = ""; ns = "null"; bytes = "null"; allocs = "null"
+            if (match($0, /"name": "[^"]*"/))            name = substr($0, RSTART + 9, RLENGTH - 10)
+            if (match($0, /"ns_per_op": [0-9.e+-]+/))     ns = substr($0, RSTART + 13, RLENGTH - 13)
+            if (match($0, /"bytes_per_op": [0-9.e+-]+/))  bytes = substr($0, RSTART + 16, RLENGTH - 16)
+            if (match($0, /"allocs_per_op": [0-9.e+-]+/)) allocs = substr($0, RSTART + 17, RLENGTH - 17)
+            if (name != "") print name, ns, bytes, allocs
+        }' "$1"
+}
+
+extract "$old" >/tmp/bench_old.$$
+extract "$new" >/tmp/bench_new.$$
+trap 'rm -f /tmp/bench_old.$$ /tmp/bench_new.$$' EXIT
+
+# A benchmark present in the old snapshot but absent from the new one is a
+# failure, not a silent skip — a renamed or no-longer-emitted benchmark must
+# not let the gate go green while checking nothing.
+awk -v thr="$threshold" '
+    function pct(o, n) { return (n - o) / o * 100 }
+    function check(name, metric, o, n) {
+        if (o == "null" || n == "null") return
+        if (o + 0 == 0) {
+            # Zero baseline: any growth is an infinite-percent regression
+            # (e.g. a 0-allocs/op path that starts allocating).
+            if (n + 0 > 0) {
+                printf "%-45s %-10s %14.0f -> %14.0f      +inf  REGRESSION\n", name, metric, o, n
+                bad++
+            }
+            return
+        }
+        d = pct(o + 0, n + 0)
+        mark = " "
+        if (d > thr * 100) { mark = "REGRESSION"; bad++ }
+        else if (d < -5)   { mark = "improved" }
+        printf "%-45s %-10s %14.0f -> %14.0f  %+7.1f%%  %s\n", name, metric, o, n, d, mark
+    }
+    NR == FNR {
+        order[++nOld] = $1
+        oldNs[$1] = $2; oldAllocs[$1] = $4
+        next
+    }
+    {
+        newSeen[$1] = 1
+        if (!($1 in oldNs)) { printf "%-45s new benchmark (no baseline)\n", $1; next }
+        newNs[$1] = $2; newAllocs[$1] = $4
+    }
+    END {
+        matched = 0
+        for (i = 1; i <= nOld; i++) {
+            name = order[i]
+            if (!(name in newSeen)) {
+                printf "%-45s MISSING from new snapshot\n", name
+                bad++
+                continue
+            }
+            matched++
+            check(name, "ns/op", oldNs[name], newNs[name])
+            check(name, "allocs/op", oldAllocs[name], newAllocs[name])
+        }
+        if (matched == 0) { print "no benchmarks in common — nothing was checked"; exit 1 }
+        if (bad) { printf "\n%d metric(s) regressed or went missing (threshold %.0f%%)\n", bad, thr * 100; exit 1 }
+        print "\nno regressions"
+    }
+' /tmp/bench_old.$$ /tmp/bench_new.$$

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # verify.sh — the tier-1 verification recipe (see ROADMAP.md). Beyond the
-# build and full test suite, it vets the tree and race-checks the packages
+# build and full test suite, it vets the tree, race-checks the packages
 # with goroutine-parallel paths (surrogate worker pool, bo batch scoring,
-# plantnet repeated-run pool).
+# plantnet repeated-run pool), and runs the allocation-regression gate: the
+# kernel's steady-state zero-alloc contracts (sim/alloc_test.go) must hold,
+# or the freelist/calendar work of PR 3 has silently rotted. For wall-clock
+# trends, diff bench snapshots with scripts/bench_compare.sh (flags >10%
+# ns/op or allocs/op growth between two scripts/bench.sh outputs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,4 +14,6 @@ go build ./...
 go vet ./...
 go test ./...
 go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/...
+# Allocation-regression gate: -count=1 forces a real (uncached) run.
+go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
 echo "verify OK"
