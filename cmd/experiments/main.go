@@ -5,11 +5,20 @@
 //
 // Usage:
 //
-//	experiments [flags] <fig2|fig3|table3|fig8|fig9|fig10|table4|fig11|listing1|all>
+//	experiments [flags] <fig2|fig3|table3|fig8|fig9|fig10|table4|fig11|listing1|ablation|suite|all>
 //
 // With -paper the harness uses the paper's full protocol (7 repetitions of
 // 23 minutes per configuration); the default is a faster protocol (2 x 300s)
 // that yields the same means within noise.
+//
+// The suite command goes beyond the paper's single 42-node deployment: it
+// runs a scenario-suite campaign (internal/scenario) — topology sweeps,
+// degraded networks, heterogeneous gateway mixes, fog placement, shaped
+// workloads — on a bounded worker pool with a cross-scenario comparison
+// table. Fixed-seed suite output is bit-identical at any -parallel level,
+// and with -checkpoint an interrupted campaign resumes without re-running
+// completed scenarios. Use -suite to run a declarative JSON suite (see
+// examples/suite) instead of the built-in standard campaign.
 package main
 
 import (
@@ -21,6 +30,7 @@ import (
 	"e2clab/internal/core"
 	"e2clab/internal/export"
 	"e2clab/internal/plantnet"
+	"e2clab/internal/scenario"
 	"e2clab/internal/sensitivity"
 	"e2clab/internal/space"
 	"e2clab/internal/workload"
@@ -32,6 +42,12 @@ var (
 	flagSeed     = flag.Int64("seed", 42, "root RNG seed")
 	flagPaper    = flag.Bool("paper", false, "use the paper's full protocol (1380s x 7 repetitions)")
 	flagCSV      = flag.String("csv", "", "directory to write CSV outputs (optional)")
+
+	// suite command flags.
+	flagSuite      = flag.String("suite", "", "declarative suite JSON (default: the built-in standard campaign)")
+	flagParallel   = flag.Int("parallel", 0, "suite worker pool size (0 = GOMAXPROCS, 1 = sequential)")
+	flagCheckpoint = flag.String("checkpoint", "", "suite checkpoint path for crash-safe resume (optional)")
+	flagArchive    = flag.String("archive", "", "suite provenance archive directory (optional)")
 )
 
 func main() {
@@ -55,6 +71,7 @@ func main() {
 		"fig11":    fig11,
 		"listing1": listing1,
 		"ablation": ablation,
+		"suite":    suite,
 	}
 	run := func(name string) {
 		fmt.Printf("\n=== %s ===\n", name)
@@ -361,6 +378,64 @@ func ablation() error {
 		return err
 	}
 	return maybeCSV(r, "ablation_replicas")
+}
+
+// suite runs a scenario-suite campaign: the built-in standard suite
+// (internal/scenario.StandardSuite) or a declarative JSON suite given with
+// -suite, on a bounded worker pool with optional checkpoint/resume and
+// provenance archiving. The comparison table is bit-identical for a fixed
+// seed at any parallelism.
+func suite() error {
+	var s scenario.Suite
+	if *flagSuite != "" {
+		loaded, err := scenario.LoadSuite(*flagSuite)
+		if err != nil {
+			return err
+		}
+		s = *loaded
+		if s.Seed == 0 {
+			s.Seed = *flagSeed
+		}
+		if s.DurationSeconds <= 0 {
+			s.DurationSeconds = *flagDuration
+		}
+		if s.Repeats <= 0 {
+			s.Repeats = *flagRepeat
+		}
+	} else {
+		s = scenario.StandardSuite(*flagDuration, *flagRepeat, *flagSeed)
+	}
+	total := len(s.Scenarios)
+	sr, err := scenario.RunSuite(s, scenario.Options{
+		Parallel:       *flagParallel,
+		CheckpointPath: *flagCheckpoint,
+		ArchiveDir:     *flagArchive,
+		Logger: func(event string, index int, name string) {
+			fmt.Fprintf(os.Stderr, "suite: [%d/%d] %s %s\n", index+1, total, name, event)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	t := scenario.ComparisonTable(sr)
+	fmt.Print(t.String())
+	if sr.Resumed > 0 {
+		fmt.Printf("(%d scenario(s) resumed from checkpoint, %d executed)\n", sr.Resumed, sr.Executed)
+	}
+	failed := 0
+	for i, e := range sr.Errs {
+		if e != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "suite: scenario %d failed: %v\n", i, e)
+		}
+	}
+	if err := maybeCSV(t, "suite"); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d scenario(s) failed", failed, total)
+	}
+	return nil
 }
 
 // listing1 runs the complete user-facing optimization of Listing 1 with the

@@ -1,0 +1,79 @@
+// Scenario-suite campaign: the methodology step the paper leaves to the
+// practitioner — evaluating the optimized application across MANY
+// edge-to-cloud deployments before moving to production, not just the one
+// 42-node scenario of Section IV.
+//
+// The suite definition is declarative (suite.json next to this file):
+// seven ready-made scenarios covering a topology sweep (the Figure 2
+// spring-peak question), a degraded fog-cloud backbone, a heterogeneous
+// fiber/LTE/satellite gateway mix, a fog engine placement, and bursty /
+// diurnal workload shapes. The runner executes them on a bounded worker
+// pool; for a fixed seed the comparison table is bit-identical at every
+// parallelism level, and the checkpoint makes the campaign crash-safe:
+// kill it mid-run, start it again, and completed scenarios are skipped.
+//
+//	go run ./examples/suite                 # run the campaign
+//	go run ./examples/suite -interrupt 3    # simulate a crash after 3 scenarios
+//	go run ./examples/suite                 # ...and resume it
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"e2clab/internal/scenario"
+)
+
+func main() {
+	suiteFile := flag.String("suite", "", "suite JSON (default: suite.json next to this example)")
+	parallel := flag.Int("parallel", 0, "worker pool size (0 = GOMAXPROCS)")
+	checkpoint := flag.String("checkpoint", filepath.Join(os.TempDir(), "e2clab-suite-checkpoint.json"),
+		"checkpoint path (crash-safe resume)")
+	interrupt := flag.Int("interrupt", 0, "simulate a crash after N scenarios")
+	flag.Parse()
+
+	path := *suiteFile
+	if path == "" {
+		path = filepath.Join("examples", "suite", "suite.json")
+		if _, err := os.Stat(path); err != nil {
+			path = "suite.json" // run from the example directory
+		}
+	}
+	s, err := scenario.LoadSuite(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("suite %q: %d scenarios, seed %d, checkpoint %s\n\n",
+		s.Name, len(s.Scenarios), s.Seed, *checkpoint)
+
+	sr, err := scenario.RunSuite(*s, scenario.Options{
+		Parallel:       *parallel,
+		CheckpointPath: *checkpoint,
+		InterruptAfter: *interrupt,
+		Logger: func(event string, index int, name string) {
+			fmt.Printf("  %-9s %s\n", event, name)
+		},
+	})
+	if errors.Is(err, scenario.ErrInterrupted) {
+		fmt.Printf("\ninterrupted after %d scenario(s) — run again to resume from the checkpoint\n",
+			sr.Executed)
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println()
+	fmt.Print(scenario.ComparisonTable(sr).String())
+	if sr.Resumed > 0 {
+		fmt.Printf("\n%d scenario(s) resumed from checkpoint, %d executed this run\n",
+			sr.Resumed, sr.Executed)
+	}
+	if sr.Executed+sr.Resumed == len(s.Scenarios) {
+		_ = os.Remove(*checkpoint) // campaign complete; next run starts fresh
+	}
+}

@@ -62,7 +62,13 @@ func (t *Table) Render(w io.Writer) error {
 			if i > 0 {
 				b.WriteString("  ")
 			}
-			fmt.Fprintf(&b, "%-*s", widths[i], c)
+			// Ragged rows may carry more cells than the header; cells
+			// beyond the last column have no width to align to.
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s", widths[i], c)
+			} else {
+				b.WriteString(c)
+			}
 		}
 		b.WriteByte('\n')
 	}
@@ -86,19 +92,34 @@ func (t *Table) String() string {
 	return b.String()
 }
 
-// WriteCSV stores the table as a CSV file (header row included).
+// WriteCSV stores the table as a CSV file (header row included). Ragged
+// rows are padded with empty cells to a common width so strict CSV readers
+// (which reject records of varying length) can parse the file.
 func (t *Table) WriteCSV(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
 	defer f.Close()
+	width := len(t.Columns)
+	for _, r := range t.Rows {
+		if len(r) > width {
+			width = len(r)
+		}
+	}
+	pad := func(cells []string) []string {
+		if len(cells) >= width {
+			return cells
+		}
+		return append(append(make([]string, 0, width), cells...),
+			make([]string, width-len(cells))...)
+	}
 	w := csv.NewWriter(f)
-	if err := w.Write(t.Columns); err != nil {
+	if err := w.Write(pad(t.Columns)); err != nil {
 		return fmt.Errorf("export: %w", err)
 	}
 	for _, r := range t.Rows {
-		if err := w.Write(r); err != nil {
+		if err := w.Write(pad(r)); err != nil {
 			return fmt.Errorf("export: %w", err)
 		}
 	}

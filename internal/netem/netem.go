@@ -71,14 +71,19 @@ func (n *Network) Between(src, dst string) Rule {
 
 // TransferSeconds returns the expected time to move payloadBytes from src
 // to dst: one-way delay plus serialization at the bandwidth cap, inflated
-// by retransmissions at the loss rate.
+// by retransmissions at the loss rate. A fully lossy path (100% loss,
+// possibly reached by composing Between rules) delivers nothing, so the
+// expected transfer time is +Inf.
 func (n *Network) TransferSeconds(src, dst string, payloadBytes float64) float64 {
 	r := n.Between(src, dst)
+	if r.LossPct >= 100 {
+		return math.Inf(1)
+	}
 	t := r.DelayMS / 1000
 	if r.RateGbps > 0 {
 		t += payloadBytes * 8 / (r.RateGbps * 1e9)
 	}
-	if r.LossPct > 0 && r.LossPct < 100 {
+	if r.LossPct > 0 {
 		t /= 1 - r.LossPct/100
 	}
 	if math.IsNaN(t) || t < 0 {

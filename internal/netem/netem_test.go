@@ -69,6 +69,31 @@ func TestTransferWithLoss(t *testing.T) {
 	}
 }
 
+func TestTransferFullyLossy(t *testing.T) {
+	// A single 100%-loss rule: nothing ever gets through, so the expected
+	// transfer time is +Inf, not a finite (delay-only) value.
+	n := New(Rule{Src: "a", Dst: "b", DelayMS: 100, LossPct: 100})
+	if got := n.TransferSeconds("a", "b", 1e6); !math.IsInf(got, 1) {
+		t.Errorf("fully lossy transfer = %v, want +Inf", got)
+	}
+
+	// Composed rules reaching 100%: Validate accepts each rule, Between
+	// composes losses to exactly 100, and the transfer must still be +Inf.
+	comp := New(
+		Rule{Src: "edge", Dst: "cloud", DelayMS: 10, LossPct: 60},
+		Rule{Src: "edge", Dst: "cloud", DelayMS: 5, LossPct: 100},
+	)
+	if err := comp.Validate([]string{"edge", "cloud"}); err != nil {
+		t.Fatalf("Validate rejected composable rules: %v", err)
+	}
+	if got := comp.Between("edge", "cloud").LossPct; got != 100 {
+		t.Fatalf("composed LossPct = %v, want 100", got)
+	}
+	if got := comp.TransferSeconds("edge", "cloud", 1e6); !math.IsInf(got, 1) {
+		t.Errorf("composed fully lossy transfer = %v, want +Inf", got)
+	}
+}
+
 func TestTransferUnconstrained(t *testing.T) {
 	n := New()
 	if got := n.TransferSeconds("x", "y", 1e9); got != 0 {

@@ -1,0 +1,22 @@
+package scenario
+
+import "testing"
+
+// BenchmarkSuite tracks the cost of a full standard-suite campaign at a
+// short protocol (60 s scenarios, 1 repeat) — the suite-runner entry in
+// the perf-trajectory snapshots (scripts/bench.sh).
+func BenchmarkSuite(b *testing.B) {
+	s := StandardSuite(60, 1, 42)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr, err := RunSuite(s, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range sr.Errs {
+			if e != nil {
+				b.Fatalf("scenario %d: %v", j, e)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+
+	"e2clab/internal/config"
+)
+
+// Generators expand one base scenario into a parameterized family — the
+// "topology sweeps, heterogeneous gateway mixes, netem degradation
+// profiles, and workload shapes" axes of an experiment campaign. Each
+// generator returns fresh scenarios with derived names so a Suite can
+// concatenate families from several axes.
+
+// GatewaySweep scales the base scenario's total gateway count across the
+// given values, preserving the relative mix of gateway classes. Counts are
+// apportioned by largest remainder so they sum to exactly the requested
+// total (which the "-<n>gw" name suffix claims), except that every class
+// keeps at least one gateway.
+func GatewaySweep(base Scenario, totals []int) []Scenario {
+	baseTotal := base.TotalGateways()
+	out := make([]Scenario, 0, len(totals))
+	for _, total := range totals {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%dgw", base.Name, total)
+		if baseTotal > 0 && total > 0 {
+			counts := make([]int, len(s.Gateways))
+			order := make([]int, len(s.Gateways))
+			sum := 0
+			for i, g := range s.Gateways {
+				counts[i] = g.Count * total / baseTotal
+				order[i] = i
+				sum += counts[i]
+			}
+			// Hand the leftover units (< #classes) to the largest
+			// fractional remainders, lowest index first on ties.
+			sort.SliceStable(order, func(a, b int) bool {
+				ra := s.Gateways[order[a]].Count * total % baseTotal
+				rb := s.Gateways[order[b]].Count * total % baseTotal
+				return ra > rb
+			})
+			for j := 0; j < total-sum; j++ {
+				counts[order[j]]++
+			}
+			for i := range counts {
+				if counts[i] < 1 {
+					counts[i] = 1
+				}
+				s.Gateways[i].Count = counts[i]
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// PlacementSweep emits one scenario per engine placement ("cloud", "fog"),
+// with "-on-<layer>" name suffixes — the layer-placement axis of the
+// continuum ("where should the workflow components be executed?").
+func PlacementSweep(base Scenario, layers ...string) []Scenario {
+	if len(layers) == 0 {
+		layers = []string{"cloud", "fog"}
+	}
+	out := make([]Scenario, 0, len(layers))
+	for _, l := range layers {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-on-%s", base.Name, l)
+		s.EngineLayer = l
+		out = append(out, s)
+	}
+	return out
+}
+
+// MixSweep replaces the base scenario's gateway tier with each given mix of
+// classes (heterogeneous uplinks). Names get a "-<mixName>" suffix.
+func MixSweep(base Scenario, mixes map[string][]GatewayClass) []Scenario {
+	out := make([]Scenario, 0, len(mixes))
+	for _, name := range sortedKeys(mixes) {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, name)
+		s.Gateways = append([]GatewayClass(nil), mixes[name]...)
+		out = append(out, s)
+	}
+	return out
+}
+
+// Degradation is a named netem profile: extra latency/loss/rate rules
+// applied between layers on top of the gateway uplinks.
+type Degradation struct {
+	Name  string               `json:"name"`
+	Rules []config.NetworkRule `json:"rules"`
+}
+
+// DegradationSweep applies each profile to the base scenario, appending its
+// rules to any the base already carries. Names get a "-<profile>" suffix.
+func DegradationSweep(base Scenario, profiles []Degradation) []Scenario {
+	out := make([]Scenario, 0, len(profiles))
+	for _, p := range profiles {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, p.Name)
+		s.Degradation = append(append([]config.NetworkRule(nil), base.Degradation...), p.Rules...)
+		out = append(out, s)
+	}
+	return out
+}
+
+// ShapeSweep emits one scenario per workload shape, named "-<kind>".
+func ShapeSweep(base Scenario, shapes []Shape) []Scenario {
+	out := make([]Scenario, 0, len(shapes))
+	for _, sh := range shapes {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, sh.kind())
+		s.Workload = sh
+		out = append(out, s)
+	}
+	return out
+}
+
+// clone deep-copies the slices a generator mutates.
+func clone(s Scenario) Scenario {
+	s.Gateways = append([]GatewayClass(nil), s.Gateways...)
+	s.Degradation = append([]config.NetworkRule(nil), s.Degradation...)
+	return s
+}
+
+func sortedKeys(m map[string][]GatewayClass) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,82 @@
+package scenario
+
+import (
+	"e2clab/internal/config"
+	"e2clab/internal/plantnet"
+)
+
+// PaperScenario is the paper's 42-node Section IV deployment as a
+// declarative scenario: 40 edge gateways behind a metropolitan fiber
+// uplink feeding 2 engine replicas in the cloud, 80 simultaneous requests.
+func PaperScenario() Scenario {
+	return Scenario{
+		Name:     "paper-42-nodes",
+		Replicas: 2,
+		Pools:    plantnet.Baseline,
+		Gateways: []GatewayClass{
+			{Name: "fiber", Count: 40, DelayMS: 2, RateGbps: 10},
+		},
+		ClientsPerGateway: 2,
+	}
+}
+
+// StandardSuite is the built-in campaign `experiments suite` runs: the
+// paper's deployment plus topology, degradation, heterogeneity, placement,
+// and workload-shape variations of it — eight ready-made edge-to-cloud
+// scenarios.
+func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
+	base := PaperScenario()
+
+	// Topology sweep: the spring-peak growth question of Figure 2 — what
+	// happens when the gateway estate doubles?
+	sweep := GatewaySweep(base, []int{40, 80})
+
+	// Netem degradation: a congested metro backbone and a lossy uplink.
+	degraded := DegradationSweep(base, []Degradation{
+		{Name: "slow-backbone", Rules: []config.NetworkRule{
+			{Src: "fog", Dst: "cloud", DelayMS: 150, RateGbps: 0.1, Symmetric: true},
+		}},
+		{Name: "lossy-uplink", Rules: []config.NetworkRule{
+			{Src: "edge", Dst: "fog", DelayMS: 30, LossPct: 5, Symmetric: true},
+		}},
+	})
+
+	// Heterogeneous gateway mix: fiber sites, LTE sites, and two remote
+	// satellite-backhauled sites.
+	hetero := MixSweep(base, map[string][]GatewayClass{
+		"hetero": {
+			{Name: "fiber", Count: 24, DelayMS: 2, RateGbps: 10},
+			{Name: "lte", Count: 14, DelayMS: 45, RateGbps: 0.05},
+			{Name: "sat", Count: 2, DelayMS: 550, RateGbps: 0.02, LossPct: 1},
+		},
+	})
+
+	// Placement: the engine offloaded to the fog tier (one hop closer,
+	// but a single replica on weaker nodes).
+	fog := clone(base)
+	fog.Name = "fog-offload"
+	fog.EngineLayer = "fog"
+	fog.Replicas = 1
+
+	// Workload shapes: the identification bursts of the spring peak and a
+	// day-long diurnal cycle.
+	shapes := ShapeSweep(base, []Shape{
+		{Kind: "bursty"},
+		{Kind: "diurnal"},
+	})
+
+	var scenarios []Scenario
+	scenarios = append(scenarios, sweep...)
+	scenarios = append(scenarios, degraded...)
+	scenarios = append(scenarios, hetero...)
+	scenarios = append(scenarios, fog)
+	scenarios = append(scenarios, shapes...)
+
+	return Suite{
+		Name:            "plantnet-continuum",
+		Seed:            seed,
+		DurationSeconds: durationSeconds,
+		Repeats:         repeats,
+		Scenarios:       scenarios,
+	}
+}

@@ -1,0 +1,381 @@
+// Package scenario is the declarative scenario-suite layer of the
+// reproduction: where config.Scenario describes ONE Edge-to-Cloud
+// deployment, this package generates and executes FAMILIES of them — the
+// experiment campaigns the E2Clab methodology prescribes ("evaluate the
+// application under as many deployment scenarios as needed before moving to
+// production").
+//
+// A Scenario pairs a gateway-level topology (how many edge gateways of
+// which network class feed the engine, and on which continuum layer the
+// engine runs) with a netem degradation profile, a workload shape
+// (constant, bursty, or diurnal), and the engine configuration to evaluate.
+// Scenario.Deployment lowers it to the config.Scenario / netem form the
+// rest of the framework consumes; Run executes it on the calibrated
+// Pl@ntNet engine simulator.
+//
+// Determinism contract: a Scenario's Result is a pure function of the
+// scenario spec and the seed it is run under. All stochastic inputs are
+// derived up front (rngutil), phases and repeats aggregate in a fixed
+// order, and the suite runner (suite.go) preserves that order regardless
+// of worker-pool parallelism — fixed-seed suite output is bit-identical
+// whether it runs sequentially, in parallel, or across an interruption and
+// resume.
+package scenario
+
+import (
+	"fmt"
+	"math"
+
+	"e2clab/internal/config"
+	"e2clab/internal/netem"
+	"e2clab/internal/plantnet"
+	"e2clab/internal/rngutil"
+	"e2clab/internal/stats"
+)
+
+// GatewayClass is a homogeneous group of edge gateways sharing an uplink
+// quality — the unit of heterogeneous gateway mixes (fiber-, LTE- and
+// satellite-backhauled sites behave very differently).
+type GatewayClass struct {
+	Name  string `json:"name"`
+	Count int    `json:"count"`
+	// Uplink constraints from this class's gateways to the next layer up.
+	DelayMS  float64 `json:"delay_ms,omitempty"`
+	RateGbps float64 `json:"rate_gbps,omitempty"`
+	LossPct  float64 `json:"loss_pct,omitempty"`
+	// Cluster is the testbed cluster hosting this class's gateway nodes
+	// (defaults to "chiclet", the paper's edge-client cluster).
+	Cluster string `json:"cluster,omitempty"`
+}
+
+// Scenario is one declarative edge-to-cloud deployment to evaluate.
+type Scenario struct {
+	Name string `json:"name"`
+
+	// EngineLayer places the identification engine on "cloud" (default) or
+	// "fog": a fog placement shortens the request path by one hop.
+	EngineLayer string `json:"engine_layer,omitempty"`
+	// Replicas is the number of engine instances (paper: 2 chifflot nodes).
+	Replicas int `json:"replicas,omitempty"`
+	// Pools is the engine thread-pool configuration; zero value means the
+	// production baseline of Table II.
+	Pools plantnet.PoolConfig `json:"pools,omitempty"`
+
+	// Gateways describes the edge tier; at least one class is required.
+	Gateways []GatewayClass `json:"gateways"`
+	// ClientsPerGateway scales the closed-loop population: total clients =
+	// sum of class counts x this (default 2, the paper's 40 gateways x 2 =
+	// 80-request workload).
+	ClientsPerGateway int `json:"clients_per_gateway,omitempty"`
+
+	// Degradation holds extra netem rules applied on top of the gateway
+	// uplinks (added latency/loss between layers — tc/netem profiles).
+	Degradation []config.NetworkRule `json:"degradation,omitempty"`
+
+	// Workload shapes the client population over the experiment (constant,
+	// bursty, diurnal). Zero value means constant.
+	Workload Shape `json:"workload,omitempty"`
+
+	// UploadBytes / ResponseBytes size the request payloads crossing the
+	// network (defaults: 1.2 MB photo up, 50 KB identification down).
+	UploadBytes   float64 `json:"upload_bytes,omitempty"`
+	ResponseBytes float64 `json:"response_bytes,omitempty"`
+
+	// DurationSeconds / Repeats override the suite-level protocol for this
+	// scenario (0 = inherit).
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	Repeats         int     `json:"repeats,omitempty"`
+}
+
+// withDefaults returns a copy with every optional field resolved.
+func (s Scenario) withDefaults() Scenario {
+	if s.EngineLayer == "" {
+		s.EngineLayer = "cloud"
+	}
+	if s.Replicas <= 0 {
+		s.Replicas = 1
+	}
+	if s.Pools == (plantnet.PoolConfig{}) {
+		s.Pools = plantnet.Baseline
+	}
+	if s.ClientsPerGateway <= 0 {
+		s.ClientsPerGateway = 2
+	}
+	for i := range s.Gateways {
+		if s.Gateways[i].Cluster == "" {
+			s.Gateways[i].Cluster = "chiclet"
+		}
+	}
+	if s.UploadBytes <= 0 {
+		s.UploadBytes = 1.2e6
+	}
+	if s.ResponseBytes <= 0 {
+		s.ResponseBytes = 5e4
+	}
+	if s.DurationSeconds <= 0 {
+		s.DurationSeconds = 300
+	}
+	if s.Repeats <= 0 {
+		s.Repeats = 1
+	}
+	return s
+}
+
+// Validate checks the scenario is structurally sound, including that its
+// lowered deployment passes config.Scenario and netem validation.
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: needs a name")
+	}
+	d := s.withDefaults()
+	if d.EngineLayer != "cloud" && d.EngineLayer != "fog" {
+		return fmt.Errorf("scenario %q: engine_layer must be cloud or fog, got %q", s.Name, s.EngineLayer)
+	}
+	if len(d.Gateways) == 0 {
+		return fmt.Errorf("scenario %q: needs at least one gateway class", s.Name)
+	}
+	for _, g := range d.Gateways {
+		if g.Name == "" {
+			return fmt.Errorf("scenario %q: unnamed gateway class", s.Name)
+		}
+		if g.Count < 1 {
+			return fmt.Errorf("scenario %q: gateway class %q has count %d", s.Name, g.Name, g.Count)
+		}
+	}
+	if err := d.Pools.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if err := d.Workload.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	cfg, err := d.Deployment()
+	if err != nil {
+		return err
+	}
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	// Validate every per-class network against the deployment's layers.
+	layers := make([]string, len(cfg.Layers))
+	for i, l := range cfg.Layers {
+		layers[i] = l.Name
+	}
+	for _, g := range d.Gateways {
+		if err := d.classNetwork(g).Validate(layers); err != nil {
+			return fmt.Errorf("scenario %q, class %q: %w", s.Name, g.Name, err)
+		}
+	}
+	return nil
+}
+
+// TotalGateways sums the gateway counts across classes.
+func (s Scenario) TotalGateways() int {
+	n := 0
+	for _, g := range s.Gateways {
+		n += g.Count
+	}
+	return n
+}
+
+// Clients is the full closed-loop population the scenario drives.
+func (s Scenario) Clients() int {
+	d := s.withDefaults()
+	return d.TotalGateways() * d.ClientsPerGateway
+}
+
+// path lists the layer hops a request crosses from the edge to the engine.
+func (s Scenario) path() [][2]string {
+	if s.EngineLayer == "fog" {
+		return [][2]string{{"edge", "fog"}}
+	}
+	return [][2]string{{"edge", "fog"}, {"fog", "cloud"}}
+}
+
+// layers returns the continuum layers of the deployment, edge first.
+func (s Scenario) layers() []string {
+	if s.EngineLayer == "fog" {
+		return []string{"edge", "fog"}
+	}
+	return []string{"edge", "fog", "cloud"}
+}
+
+// Deployment lowers the scenario to the config.Scenario form (layers,
+// services, composed network rules) that `e2clab deploy` and the
+// provenance archive consume.
+func (s Scenario) Deployment() (*config.Scenario, error) {
+	d := s.withDefaults()
+	if len(d.Gateways) == 0 {
+		return nil, fmt.Errorf("scenario %q: needs at least one gateway class", s.Name)
+	}
+	engineCluster := "chifflot" // the paper's GPU nodes
+	engineSvc := config.ServiceConfig{
+		Name: "plantnet_engine", Quantity: d.Replicas, Cluster: engineCluster,
+		Env: map[string]string{
+			"http":      fmt.Sprint(d.Pools.HTTP),
+			"download":  fmt.Sprint(d.Pools.Download),
+			"extract":   fmt.Sprint(d.Pools.Extract),
+			"simsearch": fmt.Sprint(d.Pools.Simsearch),
+		},
+	}
+	edge := config.LayerConfig{Name: "edge"}
+	for _, g := range d.Gateways {
+		edge.Services = append(edge.Services, config.ServiceConfig{
+			Name: "gateway_" + g.Name, Quantity: g.Count, Cluster: g.Cluster,
+		})
+	}
+	fog := config.LayerConfig{Name: "fog", Services: []config.ServiceConfig{
+		{Name: "relay", Quantity: 1, Cluster: "chetemi"},
+	}}
+	var layers []config.LayerConfig
+	if d.EngineLayer == "fog" {
+		fog.Services = append(fog.Services, engineSvc)
+		layers = []config.LayerConfig{edge, fog}
+	} else {
+		cloud := config.LayerConfig{Name: "cloud", Services: []config.ServiceConfig{engineSvc}}
+		layers = []config.LayerConfig{edge, fog, cloud}
+	}
+	var rules []config.NetworkRule
+	for _, g := range d.Gateways {
+		if g.DelayMS > 0 || g.RateGbps > 0 || g.LossPct > 0 {
+			rules = append(rules, config.NetworkRule{
+				Src: "edge", Dst: "fog", DelayMS: g.DelayMS,
+				RateGbps: g.RateGbps, LossPct: g.LossPct, Symmetric: true,
+			})
+		}
+	}
+	rules = append(rules, d.Degradation...)
+	return &config.Scenario{Name: d.Name, Layers: layers, Network: rules}, nil
+}
+
+// classNetwork builds the netem network one gateway class experiences: its
+// own uplink on the edge hop, plus the scenario-wide degradation rules.
+func (s Scenario) classNetwork(g GatewayClass) *netem.Network {
+	rules := []netem.Rule{{
+		Src: "edge", Dst: "fog", DelayMS: g.DelayMS,
+		RateGbps: g.RateGbps, LossPct: g.LossPct, Symmetric: true,
+	}}
+	for _, r := range s.Degradation {
+		rules = append(rules, netem.Rule{Src: r.Src, Dst: r.Dst, DelayMS: r.DelayMS,
+			RateGbps: r.RateGbps, LossPct: r.LossPct, Symmetric: r.Symmetric})
+	}
+	return netem.New(rules...)
+}
+
+// NetworkOverheadSeconds returns the expected per-request network time —
+// the 1.2 MB photo travelling up the continuum path and the identification
+// result coming back — averaged over gateway classes weighted by gateway
+// count. It is +Inf when any class's path is fully lossy (see
+// netem.TransferSeconds), in which case the scenario is unreachable.
+func (s Scenario) NetworkOverheadSeconds() float64 {
+	d := s.withDefaults()
+	total := d.TotalGateways()
+	if total == 0 {
+		return 0
+	}
+	var overhead float64
+	for _, g := range d.Gateways {
+		n := d.classNetwork(g)
+		var t float64
+		for _, hop := range d.path() {
+			t += n.TransferSeconds(hop[0], hop[1], d.UploadBytes)
+			t += n.TransferSeconds(hop[1], hop[0], d.ResponseBytes)
+		}
+		overhead += t * float64(g.Count) / float64(total)
+	}
+	return overhead
+}
+
+// Result is one executed scenario's aggregate, the row unit of the
+// cross-scenario comparison tables. Every field is finite (unreachable or
+// sample-free scenarios fail with an error instead), so Results round-trip
+// bit-exactly through the JSON checkpoint.
+type Result struct {
+	Index    int    `json:"index"`
+	Name     string `json:"name"`
+	Gateways int    `json:"gateways"`
+	Clients  int    `json:"clients"`
+	Phases   int    `json:"phases"`
+
+	// EngineResp pools every post-warmup response-time sample across
+	// phases and repeats (engine-side, excluding the network path).
+	EngineResp stats.Summary `json:"engine_resp"`
+	// NetOverheadSec is the expected per-request network time.
+	NetOverheadSec float64 `json:"net_overhead_sec"`
+	// RespMean is the user-observed mean: engine + network overhead.
+	RespMean float64 `json:"resp_mean"`
+	// RespP95 is the duration-weighted mean of per-run engine p95s.
+	RespP95 float64 `json:"resp_p95"`
+	// Throughput is the duration-weighted completions/s.
+	Throughput float64 `json:"throughput"`
+	Completed  int     `json:"completed"`
+}
+
+// Run executes the scenario: every workload phase runs plantnet.RunRepeated
+// with a seed derived from `seed`, and phase results aggregate in phase
+// order — the Result is a pure function of (scenario, seed).
+// repeatParallelism bounds the per-phase RunRepeated pool; <= 0 means
+// sequential (not GOMAXPROCS: the suite pool is the parallelism knob, and
+// nesting a repeat pool inside every suite worker would oversubscribe).
+func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
+	if repeatParallelism <= 0 {
+		repeatParallelism = 1
+	}
+	d := s.withDefaults()
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	overhead := d.NetworkOverheadSeconds()
+	if math.IsInf(overhead, 1) {
+		return nil, fmt.Errorf("scenario %q: unreachable — a gateway class's path composes to 100%% loss", d.Name)
+	}
+	phases := d.Workload.Expand(d.Clients(), d.DurationSeconds)
+	seeder := rngutil.NewSeeder(seed + 31)
+	var pooled stats.Welford
+	var thrSec, p95Sec, elapsed float64
+	completed := 0
+	for _, ph := range phases {
+		opts := plantnet.RunOptions{
+			Pools:          d.Pools,
+			Clients:        ph.Clients,
+			Replicas:       d.Replicas,
+			Duration:       ph.DurationSeconds,
+			Warmup:         math.Min(60, ph.DurationSeconds/5),
+			SampleInterval: math.Min(10, ph.DurationSeconds/10),
+			MaxParallel:    repeatParallelism,
+			Seed:           seeder.Next(),
+		}
+		rep, err := plantnet.RunRepeated(opts, d.Repeats)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", d.Name, err)
+		}
+		for _, m := range rep.Runs {
+			for _, sample := range m.Samples {
+				if !math.IsNaN(sample.RespTime) {
+					pooled.Add(sample.RespTime)
+				}
+			}
+			p95Sec += m.RespP95 * ph.DurationSeconds
+			completed += m.Completed
+		}
+		thrSec += rep.Throughput * ph.DurationSeconds
+		elapsed += ph.DurationSeconds
+	}
+	// Fewer than two samples would leave NaNs (StdDev) in the Result,
+	// which the JSON checkpoint cannot represent.
+	if pooled.N() < 2 {
+		return nil, fmt.Errorf("scenario %q: %d post-warmup samples (duration too short?)", d.Name, pooled.N())
+	}
+	engine := pooled.Snapshot()
+	return &Result{
+		Name:           d.Name,
+		Gateways:       d.TotalGateways(),
+		Clients:        d.Clients(),
+		Phases:         len(phases),
+		EngineResp:     engine,
+		NetOverheadSec: overhead,
+		RespMean:       engine.Mean + overhead,
+		RespP95:        p95Sec / (elapsed * float64(d.Repeats)),
+		Throughput:     thrSec / elapsed,
+		Completed:      completed,
+	}, nil
+}

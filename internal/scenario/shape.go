@@ -1,0 +1,112 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes how the client population evolves over a scenario run.
+// The engine simulator drives a fixed closed-loop population per run, so a
+// shape is realized as a deterministic sequence of piecewise-constant
+// phases, each executed as its own (seeded) engine run; queue state does
+// not carry across phase boundaries — the shape models demand, not a
+// continuous trace.
+type Shape struct {
+	// Kind is "constant" (default), "bursty" (alternating off-peak/peak
+	// plateaus, the spring-identification-burst pattern of Figure 2), or
+	// "diurnal" (a sinusoidal day profile sampled into phases).
+	Kind string `json:"kind,omitempty"`
+	// Phases is the number of piecewise-constant phases the experiment
+	// duration is split into (defaults: constant 1, bursty 6, diurnal 8).
+	Phases int `json:"phases,omitempty"`
+	// BaseFrac is the off-peak population as a fraction of the scenario's
+	// full client population (default 0.5; constant shapes ignore it).
+	BaseFrac float64 `json:"base_frac,omitempty"`
+}
+
+// Phase is one piecewise-constant segment of a shaped workload.
+type Phase struct {
+	Clients         int
+	DurationSeconds float64
+}
+
+func (s Shape) kind() string {
+	if s.Kind == "" {
+		return "constant"
+	}
+	return s.Kind
+}
+
+func (s Shape) phases() int {
+	if s.Phases > 0 {
+		return s.Phases
+	}
+	switch s.kind() {
+	case "bursty":
+		return 6
+	case "diurnal":
+		return 8
+	}
+	return 1
+}
+
+func (s Shape) baseFrac() float64 {
+	if s.BaseFrac > 0 {
+		return s.BaseFrac
+	}
+	return 0.5
+}
+
+// Validate rejects unknown kinds and degenerate parameters.
+func (s Shape) Validate() error {
+	switch s.kind() {
+	case "constant", "bursty", "diurnal":
+	default:
+		return fmt.Errorf("workload shape: unknown kind %q", s.Kind)
+	}
+	if s.Phases < 0 {
+		return fmt.Errorf("workload shape: negative phase count %d", s.Phases)
+	}
+	if s.BaseFrac < 0 || s.BaseFrac > 1 {
+		return fmt.Errorf("workload shape: base_frac %v outside [0,1]", s.BaseFrac)
+	}
+	return nil
+}
+
+// Expand realizes the shape over a full client population and experiment
+// duration. The expansion is deterministic: equal-length phases whose
+// populations follow the shape, floored at one client.
+func (s Shape) Expand(clients int, durationSeconds float64) []Phase {
+	n := s.phases()
+	if s.kind() == "constant" {
+		n = 1
+	}
+	out := make([]Phase, n)
+	per := durationSeconds / float64(n)
+	base := s.baseFrac() * float64(clients)
+	span := float64(clients) - base
+	for i := range out {
+		var c float64
+		switch s.kind() {
+		case "bursty":
+			// Alternating plateaus, starting off-peak, ending on-peak.
+			if i%2 == 0 {
+				c = base
+			} else {
+				c = float64(clients)
+			}
+		case "diurnal":
+			// One sinusoidal period: trough at the first phase, crest
+			// mid-experiment.
+			c = base + span*0.5*(1-math.Cos(2*math.Pi*float64(i)/float64(n)))
+		default:
+			c = float64(clients)
+		}
+		cl := int(math.Round(c))
+		if cl < 1 {
+			cl = 1
+		}
+		out[i] = Phase{Clients: cl, DurationSeconds: per}
+	}
+	return out
+}

@@ -1,0 +1,47 @@
+package scenario
+
+import (
+	"fmt"
+
+	"e2clab/internal/export"
+)
+
+// ComparisonTable renders the cross-scenario comparison: one row per
+// scenario in suite order, so fixed-seed output is reproducible
+// byte-for-byte. Failed or unreached scenarios render their status in
+// place of metrics.
+func ComparisonTable(sr *SuiteResult) *export.Table {
+	t := export.NewTable(fmt.Sprintf("suite %s — cross-scenario comparison", sr.Suite),
+		"scenario", "gateways", "clients", "resp (s)", "±std", "engine (s)",
+		"network (s)", "p95 (s)", "throughput (req/s)", "completed")
+	for i, r := range sr.Results {
+		if r == nil {
+			status := "not run"
+			if sr.Errs[i] != nil {
+				status = "FAILED: " + sr.Errs[i].Error()
+			}
+			t.AddRow(fmt.Sprintf("#%d", i), status)
+			continue
+		}
+		t.AddRow(r.Name, r.Gateways, r.Clients,
+			r.RespMean, r.EngineResp.StdDev, r.EngineResp.Mean,
+			r.NetOverheadSec, r.RespP95, r.Throughput, r.Completed)
+	}
+	return t
+}
+
+// DetailTable renders one scenario's aggregate as a metric/value table.
+func DetailTable(r *Result) *export.Table {
+	t := export.NewTable(fmt.Sprintf("scenario %s", r.Name), "metric", "value")
+	t.AddRow("gateways", r.Gateways)
+	t.AddRow("clients", r.Clients)
+	t.AddRow("workload phases", r.Phases)
+	t.AddRow("user resp time (s)", fmt.Sprintf("%.3f (±%.4f)", r.RespMean, r.EngineResp.StdDev))
+	t.AddRow("engine resp time (s)", r.EngineResp.Mean)
+	t.AddRow("network overhead (s)", r.NetOverheadSec)
+	t.AddRow("engine resp p95 (s)", r.RespP95)
+	t.AddRow("throughput (req/s)", r.Throughput)
+	t.AddRow("completed requests", r.Completed)
+	t.AddRow("samples", r.EngineResp.N)
+	return t
+}

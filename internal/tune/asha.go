@@ -21,7 +21,8 @@ type AsyncHyperBand struct {
 	MaxT int
 
 	mu    sync.Mutex
-	rungs map[int][]float64 // rung iteration -> values recorded (min-oriented)
+	rungs map[int][]float64    // rung iteration -> values recorded (min-oriented)
+	seen  map[int]map[int]bool // rung iteration -> trial IDs already recorded there
 }
 
 // Name implements Scheduler.
@@ -41,42 +42,45 @@ func (a *AsyncHyperBand) defaults() (grace, eta, maxT int) {
 	return grace, eta, maxT
 }
 
-// rungOf returns the highest rung <= iter, or -1. Rungs are
-// grace * eta^k for k = 0, 1, ...
-func (a *AsyncHyperBand) rungOf(iter int) int {
-	grace, eta, maxT := a.defaults()
-	if iter < grace {
-		return -1
-	}
-	r := grace
-	for next := r * eta; next <= iter && next <= maxT; next *= eta {
-		r = next
-	}
-	return r
-}
-
 // OnReport implements Scheduler.
+//
+// Trials rarely report at a rung iteration exactly (a trial reporting every
+// 5 iterations never lands on rungs 4/16/64), so the decision fires at the
+// first report *crossing* each rung: the report's value is recorded — at
+// most once per trial — at every rung it newly crosses, and the halving
+// decision is taken at the highest of them. Repeat reports at an
+// already-recorded rung neither re-enter the cutoff quantile nor trigger a
+// decision.
 func (a *AsyncHyperBand) OnReport(trialID, iteration int, value float64) Decision {
 	grace, eta, maxT := a.defaults()
-	rung := a.rungOf(iteration)
-	if rung < 0 {
-		return Continue
-	}
 	if iteration >= maxT {
 		return Stop // trained long enough; stop to free resources
 	}
-	// Only decide exactly at rung boundaries (asynchronous successive
-	// halving evaluates at rungs, not every report).
-	if iteration != rung {
+	if iteration < grace {
 		return Continue
 	}
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.rungs == nil {
 		a.rungs = make(map[int][]float64)
+		a.seen = make(map[int]map[int]bool)
 	}
-	vals := append(a.rungs[rung], value)
-	a.rungs[rung] = vals
+	decide := -1
+	for r := grace; r <= iteration && r <= maxT; r *= eta {
+		if a.seen[r] == nil {
+			a.seen[r] = make(map[int]bool)
+		}
+		if a.seen[r][trialID] {
+			continue // this trial already recorded at this rung
+		}
+		a.seen[r][trialID] = true
+		a.rungs[r] = append(a.rungs[r], value)
+		decide = r
+	}
+	if decide < 0 {
+		return Continue // no rung newly crossed by this report
+	}
+	vals := a.rungs[decide]
 	if len(vals) < eta {
 		return Continue // not enough evidence at this rung yet
 	}
@@ -86,7 +90,6 @@ func (a *AsyncHyperBand) OnReport(trialID, iteration int, value float64) Decisio
 	if value <= cut {
 		return Continue
 	}
-	_ = grace
 	return Stop
 }
 

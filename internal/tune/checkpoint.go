@@ -63,8 +63,17 @@ func Load(path string) (*Analysis, error) {
 		return nil, fmt.Errorf("tune: corrupt analysis %s: %w", path, err)
 	}
 	a := &Analysis{Name: in.Name, Metric: in.Metric}
-	if in.Mode == "max" {
+	// A mangled mode must not silently fall back to Min: SeedFrom would
+	// negate values with the wrong sign and a resumed max-mode run would
+	// optimize the wrong direction. Accept exactly the Mode.String() values
+	// Save writes.
+	switch in.Mode {
+	case space.Min.String():
+		a.Mode = space.Min
+	case space.Max.String():
 		a.Mode = space.Max
+	default:
+		return nil, fmt.Errorf("tune: corrupt analysis %s: unknown mode %q", path, in.Mode)
 	}
 	for _, tj := range in.Trials {
 		t := &Trial{ID: tj.ID, Config: tj.Config, Value: tj.Value, Reports: tj.Reports}

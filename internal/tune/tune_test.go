@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"os"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -242,6 +243,43 @@ func TestASHAStopsBadTrials(t *testing.T) {
 	}
 }
 
+func TestASHADecidesBetweenRungs(t *testing.T) {
+	// Rungs are 1, 4, 16, 64 (grace=1, eta=4). A trial reporting every 5
+	// iterations never lands on a rung exactly; decisions must fire at the
+	// first report crossing each rung, or bad trials are never halved.
+	sched := &AsyncHyperBand{GracePeriod: 1, ReductionFactor: 4, MaxT: 100}
+	// Four trials cross rungs 1 and 4 with their first report at iteration
+	// 5. With eta=4 the cutoff at rung 4 is the best value; the fourth
+	// (worst) trial must stop.
+	for id, v := range []float64{1, 2, 3} {
+		if d := sched.OnReport(id, 5, v); d != Continue {
+			t.Errorf("trial %d should continue (not enough evidence yet)", id)
+		}
+	}
+	if d := sched.OnReport(3, 5, 9); d != Stop {
+		t.Error("worst of 4 trials crossing rung 4 off-boundary should stop")
+	}
+}
+
+func TestASHARecordsTrialOncePerRung(t *testing.T) {
+	// Repeat reports at an already-recorded rung must not re-enter the
+	// cutoff quantile: one chatty trial used to fill a rung by itself and
+	// trigger premature halving of the next reporter.
+	sched := &AsyncHyperBand{GracePeriod: 1, ReductionFactor: 4, MaxT: 100}
+	for i := 0; i < 4; i++ {
+		if d := sched.OnReport(0, 1, 1); d != Continue {
+			t.Fatal("single-trial rung should never decide")
+		}
+	}
+	// Only the second distinct trial at rung 1: 2 < eta values recorded,
+	// so no decision yet — even though trial 0 reported four times.
+	if d := sched.OnReport(1, 1, 5); d != Stop && d != Continue {
+		t.Fatalf("unexpected decision %v", d)
+	} else if d == Stop {
+		t.Error("trial stopped off a rung double-counted by repeat reports")
+	}
+}
+
 func TestASHAGracePeriod(t *testing.T) {
 	sched := &AsyncHyperBand{GracePeriod: 8, ReductionFactor: 2}
 	for i := 0; i < 20; i++ {
@@ -444,6 +482,48 @@ func TestSeedFromReplaysEvidence(t *testing.T) {
 	}
 	if tells != 6 {
 		t.Errorf("search received %d tells", tells)
+	}
+}
+
+func TestCheckpointModeRoundTrip(t *testing.T) {
+	s := unitSpace(1)
+	obj := func(ctx *Context, x []float64) (float64, error) { return x[0], nil }
+	for _, mode := range []space.Mode{space.Min, space.Max} {
+		a, err := Run(RunConfig{Name: "modes", Metric: "m", Mode: mode, NumSamples: 3},
+			&RandomSearch{Space: s, Seed: 21}, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := t.TempDir() + "/analysis.json"
+		if err := a.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Mode != mode {
+			t.Errorf("mode %v became %v across save/load", mode, got.Mode)
+		}
+		if got.Best().ID != a.Best().ID || got.Best().Value != a.Best().Value {
+			t.Errorf("mode %v: best trial changed across save/load", mode)
+		}
+	}
+}
+
+func TestLoadRejectsUnknownMode(t *testing.T) {
+	// An unknown or corrupted mode string used to silently become Min,
+	// flipping the optimization direction of a resumed max-mode run.
+	dir := t.TempDir()
+	for _, mode := range []string{"maximum", "", "MAX", "garbage"} {
+		path := dir + "/bad.json"
+		body := `{"name":"x","metric":"m","mode":"` + mode + `","trials":[]}`
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Load(path); err == nil {
+			t.Errorf("mode %q accepted", mode)
+		}
 	}
 }
 
