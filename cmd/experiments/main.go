@@ -18,7 +18,9 @@
 // table. Fixed-seed suite output is bit-identical at any -parallel level,
 // and with -checkpoint an interrupted campaign resumes without re-running
 // completed scenarios. Use -suite to run a declarative JSON suite (see
-// examples/suite) instead of the built-in standard campaign.
+// examples/suite) instead of the built-in standard campaign, and
+// -netmodel simulated to fold the network path into the event kernel
+// (per-hop links, gateway queueing) instead of the closed-form netem cost.
 package main
 
 import (
@@ -48,6 +50,7 @@ var (
 	flagParallel   = flag.Int("parallel", 0, "suite worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flagCheckpoint = flag.String("checkpoint", "", "suite checkpoint path for crash-safe resume (optional)")
 	flagArchive    = flag.String("archive", "", "suite provenance archive directory (optional)")
+	flagNetModel   = flag.String("netmodel", "", "network model for suite scenarios that don't set one: analytical (default) or simulated (per-hop links with gateway queueing in the event kernel)")
 )
 
 func main() {
@@ -404,6 +407,13 @@ func suite() error {
 		}
 	} else {
 		s = scenario.StandardSuite(*flagDuration, *flagRepeat, *flagSeed)
+	}
+	if *flagNetModel != "" {
+		// Suite-level default; scenarios with their own network_model keep
+		// it. The resolved value is fingerprinted, so flipping the flag
+		// between runs of a checkpointed campaign re-runs the affected
+		// scenarios instead of mixing models.
+		s.NetworkModel = *flagNetModel
 	}
 	total := len(s.Scenarios)
 	sr, err := scenario.RunSuite(s, scenario.Options{

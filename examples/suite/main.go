@@ -4,17 +4,22 @@
 // 42-node scenario of Section IV.
 //
 // The suite definition is declarative (suite.json next to this file):
-// seven ready-made scenarios covering a topology sweep (the Figure 2
-// spring-peak question), a degraded fog-cloud backbone, a heterogeneous
-// fiber/LTE/satellite gateway mix, a fog engine placement, and bursty /
-// diurnal workload shapes. The runner executes them on a bounded worker
-// pool; for a fixed seed the comparison table is bit-identical at every
-// parallelism level, and the checkpoint makes the campaign crash-safe:
-// kill it mid-run, start it again, and completed scenarios are skipped.
+// nine ready-made scenarios covering a topology sweep (the Figure 2
+// spring-peak question), a degraded fog-cloud backbone (in both network
+// models — the "-simnet" variant folds the congested backbone into the
+// event kernel, so its response time includes gateway queueing), a
+// heterogeneous fiber/LTE/satellite gateway mix, a fog engine placement,
+// and bursty/diurnal workload shapes (the "-continuous" variant carries
+// queue state across phase boundaries via a piecewise arrival rate). The
+// runner executes them on a bounded worker pool; for a fixed seed the
+// comparison table is bit-identical at every parallelism level, and the
+// checkpoint makes the campaign crash-safe: kill it mid-run, start it
+// again, and completed scenarios are skipped.
 //
-//	go run ./examples/suite                 # run the campaign
-//	go run ./examples/suite -interrupt 3    # simulate a crash after 3 scenarios
-//	go run ./examples/suite                 # ...and resume it
+//	go run ./examples/suite                      # run the campaign
+//	go run ./examples/suite -interrupt 3         # simulate a crash after 3 scenarios
+//	go run ./examples/suite                      # ...and resume it
+//	go run ./examples/suite -netmodel simulated  # every scenario through the event-kernel network
 package main
 
 import (
@@ -34,6 +39,7 @@ func main() {
 	checkpoint := flag.String("checkpoint", filepath.Join(os.TempDir(), "e2clab-suite-checkpoint.json"),
 		"checkpoint path (crash-safe resume)")
 	interrupt := flag.Int("interrupt", 0, "simulate a crash after N scenarios")
+	netmodel := flag.String("netmodel", "", "network model default for the suite: analytical or simulated")
 	flag.Parse()
 
 	path := *suiteFile
@@ -46,6 +52,11 @@ func main() {
 	s, err := scenario.LoadSuite(path)
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *netmodel != "" {
+		// Fingerprinted: flipping this between runs re-runs the affected
+		// scenarios instead of resuming mixed-model results.
+		s.NetworkModel = *netmodel
 	}
 	fmt.Printf("suite %q: %d scenarios, seed %d, checkpoint %s\n\n",
 		s.Name, len(s.Scenarios), s.Seed, *checkpoint)

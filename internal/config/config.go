@@ -22,9 +22,14 @@ import (
 // Scenario mirrors layers_services.yaml + network.yaml: where services run
 // and how layers communicate.
 type Scenario struct {
-	Name    string        `json:"name"`
-	Layers  []LayerConfig `json:"layers"`
-	Network []NetworkRule `json:"network,omitempty"`
+	Name string `json:"name"`
+	// NetworkModel records how the network rules are evaluated when the
+	// scenario is simulated: "analytical" (closed-form transfer times; the
+	// default when empty) or "simulated" (rules lowered to discrete-event
+	// links with gateway queueing; see internal/scenario).
+	NetworkModel string        `json:"network_model,omitempty"`
+	Layers       []LayerConfig `json:"layers"`
+	Network      []NetworkRule `json:"network,omitempty"`
 }
 
 // LayerConfig is one continuum layer (cloud / fog / edge).
@@ -70,6 +75,11 @@ func (s *Scenario) Validate() error {
 	}
 	if len(s.Layers) == 0 {
 		return fmt.Errorf("config: scenario %q has no layers", s.Name)
+	}
+	switch s.NetworkModel {
+	case "", "analytical", "simulated":
+	default:
+		return fmt.Errorf("config: scenario %q has unknown network_model %q", s.Name, s.NetworkModel)
 	}
 	for _, l := range s.Layers {
 		if l.Name == "" {

@@ -1,0 +1,58 @@
+package netem
+
+import (
+	"math/rand"
+
+	"e2clab/internal/sim"
+)
+
+// LinkSpec is the compiled, simulation-ready form of the effective rule in
+// one direction of one hop: what Network.Between answers for (src, dst),
+// converted to the units sim.Link consumes. It is the bridge between the
+// declarative netem layer (tc/netem-style rules over continuum layers) and
+// the discrete-event kernel: lowering a scenario to LinkSpecs and building
+// them makes the network a first-class simulated component — gateway
+// uplinks queue under load — instead of the closed-form TransferSeconds
+// constant.
+type LinkSpec struct {
+	Src, Dst string
+	DelaySec float64
+	RateBps  float64 // 0 = unlimited
+	LossPct  float64
+}
+
+// IsZero reports whether the spec imposes no constraint at all (an
+// unconstrained hop can be elided from a simulated path: it contributes
+// exactly zero transfer time, as TransferSeconds prices it).
+func (ls LinkSpec) IsZero() bool {
+	return ls.DelaySec == 0 && ls.RateBps == 0 && ls.LossPct == 0
+}
+
+// TransferSeconds prices one payload through the spec in closed form —
+// identical to Network.TransferSeconds on the rule the spec was lowered
+// from. Simulated links converge to this figure under zero contention.
+func (ls LinkSpec) TransferSeconds(payloadBytes float64) float64 {
+	return transferSeconds(ls.DelaySec, ls.RateBps, ls.LossPct, payloadBytes)
+}
+
+// Build instantiates the spec as a sim.Link on the engine. The rng drives
+// the link's loss retransmission draws and may be shared across the links
+// of one single-threaded engine.
+func (ls LinkSpec) Build(eng *sim.Engine, rng *rand.Rand) *sim.Link {
+	return sim.NewLink(eng, ls.DelaySec, ls.RateBps, ls.LossPct, rng)
+}
+
+// Lower compiles the effective constraint from src to dst (rule
+// composition per Between: delays and losses add, lowest rate wins) into a
+// simulation-ready LinkSpec.
+func (n *Network) Lower(src, dst string) LinkSpec {
+	r := n.Between(src, dst)
+	spec := LinkSpec{Src: src, Dst: dst, DelaySec: r.DelayMS / 1000, RateBps: r.RateGbps * 1e9, LossPct: r.LossPct}
+	if spec.LossPct < 0 {
+		spec.LossPct = 0
+	}
+	if spec.LossPct > 100 {
+		spec.LossPct = 100
+	}
+	return spec
+}

@@ -1,0 +1,75 @@
+package netem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"e2clab/internal/sim"
+)
+
+func TestLowerComposesLikeBetween(t *testing.T) {
+	n := New(
+		Rule{Src: "edge", Dst: "fog", DelayMS: 20, RateGbps: 1, LossPct: 10, Symmetric: true},
+		Rule{Src: "edge", Dst: "fog", DelayMS: 5, RateGbps: 0.5, LossPct: 10},
+	)
+	ls := n.Lower("edge", "fog")
+	if ls.Src != "edge" || ls.Dst != "fog" {
+		t.Errorf("spec endpoints = %s->%s", ls.Src, ls.Dst)
+	}
+	if math.Abs(ls.DelaySec-0.025) > 1e-12 {
+		t.Errorf("DelaySec = %v, want 0.025", ls.DelaySec)
+	}
+	if ls.RateBps != 0.5e9 {
+		t.Errorf("RateBps = %v, want 5e8 (lowest non-zero rate wins)", ls.RateBps)
+	}
+	if math.Abs(ls.LossPct-19) > 1e-9 { // 1 - 0.9*0.9
+		t.Errorf("LossPct = %v, want 19 (losses compose)", ls.LossPct)
+	}
+	// Reverse direction only sees the symmetric rule.
+	back := n.Lower("fog", "edge")
+	if back.DelaySec != 0.020 || back.RateBps != 1e9 {
+		t.Errorf("reverse spec = %+v", back)
+	}
+	// The compiled spec prices a payload exactly like the Network it came
+	// from — the equivalence the simulated mode's zero-contention contract
+	// rests on.
+	for _, payload := range []float64{0, 5e4, 1.2e6} {
+		if a, b := ls.TransferSeconds(payload), n.TransferSeconds("edge", "fog", payload); math.Float64bits(a) != math.Float64bits(b) {
+			t.Errorf("payload %v: spec prices %v, network %v", payload, a, b)
+		}
+	}
+}
+
+func TestLowerZeroAndLossySpecs(t *testing.T) {
+	n := New(
+		Rule{Src: "edge", Dst: "fog", DelayMS: 2, RateGbps: 10, Symmetric: true},
+		Rule{Src: "fog", Dst: "cloud", DelayMS: 9},
+	)
+	// cloud->fog has no rule: a zero spec, eligible for elision.
+	if !n.Lower("cloud", "fog").IsZero() {
+		t.Errorf("cloud->fog spec not zero: %+v", n.Lower("cloud", "fog"))
+	}
+	if n.Lower("edge", "fog").IsZero() || n.Lower("fog", "cloud").IsZero() {
+		t.Error("constrained hops reported zero")
+	}
+	if ls := (LinkSpec{LossPct: 100}); !math.IsInf(ls.TransferSeconds(1), 1) {
+		t.Error("fully lossy spec not priced +Inf")
+	}
+}
+
+// TestLoweredLinkMatchesClosedForm: a built link delivers a solo payload in
+// exactly the closed-form time the rule prices (zero loss), closing the
+// loop between the declarative netem layer and the event kernel.
+func TestLoweredLinkMatchesClosedForm(t *testing.T) {
+	n := New(Rule{Src: "edge", Dst: "fog", DelayMS: 30, RateGbps: 0.05})
+	eng := sim.NewEngine()
+	l := n.Lower("edge", "fog").Build(eng, rand.New(rand.NewSource(1)))
+	var done float64 = -1
+	l.Transfer(1.2e6, func() { done = eng.Now() })
+	eng.Run(1000)
+	want := n.TransferSeconds("edge", "fog", 1.2e6)
+	if math.Abs(done-want) > 1e-9 {
+		t.Errorf("simulated delivery %v, closed form %v", done, want)
+	}
+}

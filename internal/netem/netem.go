@@ -76,15 +76,22 @@ func (n *Network) Between(src, dst string) Rule {
 // expected transfer time is +Inf.
 func (n *Network) TransferSeconds(src, dst string, payloadBytes float64) float64 {
 	r := n.Between(src, dst)
-	if r.LossPct >= 100 {
+	return transferSeconds(r.DelayMS/1000, r.RateGbps*1e9, r.LossPct, payloadBytes)
+}
+
+// transferSeconds is the closed-form expected transfer time shared by
+// Network.TransferSeconds and LinkSpec.TransferSeconds: one-way delay plus
+// serialization, inflated by geometric retransmission at the loss rate.
+func transferSeconds(delaySec, rateBps, lossPct, payloadBytes float64) float64 {
+	if lossPct >= 100 {
 		return math.Inf(1)
 	}
-	t := r.DelayMS / 1000
-	if r.RateGbps > 0 {
-		t += payloadBytes * 8 / (r.RateGbps * 1e9)
+	t := delaySec
+	if rateBps > 0 {
+		t += payloadBytes * 8 / rateBps
 	}
-	if r.LossPct > 0 {
-		t /= 1 - r.LossPct/100
+	if lossPct > 0 {
+		t /= 1 - lossPct/100
 	}
 	if math.IsNaN(t) || t < 0 {
 		return 0

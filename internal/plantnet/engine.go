@@ -8,6 +8,7 @@ import (
 	"e2clab/internal/rngutil"
 	"e2clab/internal/sim"
 	"e2clab/internal/stats"
+	"e2clab/internal/workload"
 )
 
 // RunOptions configures one engine experiment: a thread-pool configuration
@@ -24,6 +25,21 @@ type RunOptions struct {
 	// of completions, and Clients is ignored. Useful for what-if capacity
 	// studies where demand is exogenous (see examples/capacity).
 	OpenLoopRate float64
+	// Arrivals, when non-nil, switches to an open-loop workload whose
+	// rate follows a piecewise-constant profile — a nonhomogeneous Poisson
+	// process realized by seeded Lewis-Shedler thinning. Unlike lowering a
+	// shaped workload to independent per-phase runs, queue state carries
+	// across the rate changes within the single run. Overrides Clients and
+	// OpenLoopRate.
+	Arrivals *workload.PiecewiseRate
+	// Network, when non-nil, switches the run to the simulated network
+	// continuum: every request traverses explicit per-hop sim.Links
+	// (per-gateway uplink, shared backhaul) before the pipeline and the
+	// reverse path after it, so the measured user response time includes
+	// queueing on the network. nil keeps the network out of the run — the
+	// analytical mode, where callers price the path in closed form with
+	// netem.TransferSeconds.
+	Network *NetworkModel
 	// Replicas is the number of engine instances, each on its own node
 	// with its own pools, CPU and GPU; clients are spread round-robin
 	// (the paper deploys the engine "on the chifflot machines"). Default 1.
@@ -100,7 +116,9 @@ type Metrics struct {
 	Completed int
 
 	// UserResponseTime summarizes the per-sample window means, matching
-	// the paper's "metric values collected every 10 seconds".
+	// the paper's "metric values collected every 10 seconds". In simulated
+	// network mode it includes the network path; in analytical mode it is
+	// engine-side only.
 	UserResponseTime stats.Summary
 	// RespP50/P95/P99 are per-request response-time percentiles over the
 	// measured period (reservoir-estimated) — tail latency the paper's
@@ -126,6 +144,12 @@ type Metrics struct {
 	// divided by completed requests over the measured period, in Joules.
 	EnergyPerRequestJ float64
 
+	// NetDelivered / NetRetransmits count simulated-network payload
+	// deliveries and loss-driven retransmissions across all links (zero in
+	// analytical mode).
+	NetDelivered   int64
+	NetRetransmits int64
+
 	Samples []Sample
 	// Traces holds per-request task breakdowns when
 	// RunOptions.TraceRequests > 0.
@@ -143,14 +167,16 @@ type RequestTrace struct {
 }
 
 // request tracks one identification query through the Table I pipeline.
-// Nodes are owned by the engine run's freelist and recycled after each
+// Nodes are owned by the engine's freelist and recycled after each
 // completion, and every stage continuation is bound once per node (the
 // closures read req.rep, which is reassigned on reuse) — so the steady-state
 // request pipeline performs zero heap allocations: no request, no closure,
-// no event, no sharedJob.
+// no event, no sharedJob, and (in simulated network mode) no transfer.
 type request struct {
 	e         *engine
 	rep       *replica
+	path      *gatewayPath // simulated network mode only
+	hop       int          // next link index on the current direction
 	start     float64
 	taskStart float64
 	tasks     [9]float64 // durations in TaskNames order
@@ -159,6 +185,9 @@ type request struct {
 	arrive, httpGranted, preDone, dlGranted, dlDone,
 	exGranted, exDone, procDone, ssGranted, ssCPUDone,
 	ssIODone, postDone, finish func()
+	// Simulated-network continuations: next uplink hop, response-path
+	// start, next downlink hop.
+	netUp, netResp, netDown func()
 }
 
 // bind builds the stage continuations. Each samples its service time at the
@@ -227,6 +256,36 @@ func (req *request) bind() {
 	}
 }
 
+// bindNet builds the network-stage continuations. They are bound lazily —
+// on a node's first simulated-network use, not in bind — so analytical
+// runs pay nothing for them; once bound they survive recycling and runner
+// reuse like every other stage closure.
+func (req *request) bindNet() {
+	e := req.e
+	req.netUp = func() {
+		if req.hop < len(req.path.up) {
+			l := req.path.up[req.hop]
+			req.hop++
+			l.Transfer(e.net.upBytes, req.netUp)
+			return
+		}
+		e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
+	}
+	req.netDown = func() {
+		if req.hop < len(req.path.down) {
+			l := req.path.down[req.hop]
+			req.hop++
+			l.Transfer(e.net.downBytes, req.netDown)
+			return
+		}
+		req.finish()
+	}
+	req.netResp = func() {
+		req.hop = 0
+		req.netDown()
+	}
+}
+
 // replica is one engine instance on one node: its own pools, CPU and GPU.
 type replica struct {
 	cpu  *sim.SharedResource
@@ -237,15 +296,24 @@ type replica struct {
 	ss   *sim.Pool
 }
 
-// engine wires the replicas and runs the pipeline.
+// engine wires the replicas and runs the pipeline. One engine is reused
+// across the runs of a Runner: everything per-run is reset in
+// Runner.prepare, while the simulation arena, resource freelists, request
+// nodes (with their bound closures), RNGs, and the response reservoir
+// survive — which is what cuts the per-run setup allocations.
 type engine struct {
-	sim  *sim.Engine
-	rng  *rand.Rand
-	cal  Calibration
-	hw   Hardware
-	cfg  PoolConfig
-	reps []*replica
-	next int // round-robin client assignment
+	sim    *sim.Engine
+	rng    *rand.Rand
+	resRng *rand.Rand // reservoir stream, re-seeded per run
+	netRng *rand.Rand // link loss stream, re-seeded per run
+	cal    Calibration
+	hw     Hardware
+	reps   []*replica
+	next   int // round-robin client-to-replica assignment
+
+	net      *netState     // nil in analytical mode
+	netModel *NetworkModel // model net was built from (cache key)
+	nextGw   int           // round-robin client-to-gateway assignment
 
 	openLoop   bool
 	warmupDone bool
@@ -256,6 +324,7 @@ type engine struct {
 	respRes    *stats.Reservoir // per-request response times, post-warmup
 	taskAgg    [9]stats.Welford
 	freeReqs   []*request // recycled request nodes (closures pre-bound)
+	allReqs    []*request // every node ever built, to refill freeReqs on reset
 }
 
 // newRequest takes a node from the freelist (or builds and binds a fresh
@@ -268,6 +337,7 @@ func (e *engine) newRequest(rep *replica) *request {
 	} else {
 		req = &request{e: e}
 		req.bind()
+		e.allReqs = append(e.allReqs, req)
 	}
 	req.rep = rep
 	req.start = e.sim.Now()
@@ -275,27 +345,82 @@ func (e *engine) newRequest(rep *replica) *request {
 	return req
 }
 
+// Runner executes engine experiments, recycling the simulation engine,
+// replicas, pools, samplers' RNGs, the response reservoir, and the request
+// freelist across runs — the per-run setup cost that dominated
+// RunRepeated's allocation profile. A Runner is NOT safe for concurrent
+// use; RunRepeated gives each of its workers a private one. Every run's
+// output is bit-identical to a run on a fresh Runner (the reset is
+// complete), which the golden and repeat-determinism tests enforce.
+type Runner struct {
+	e *engine
+}
+
+// NewRunner returns an empty Runner; the first Run populates it.
+func NewRunner() *Runner { return &Runner{} }
+
 // Run executes one experiment and returns its metrics.
 func Run(opts RunOptions) (*Metrics, error) {
+	return NewRunner().Run(opts)
+}
+
+// Run executes one experiment on the runner's pooled state.
+func (r *Runner) Run(opts RunOptions) (*Metrics, error) {
 	opts.fillDefaults()
 	if err := opts.Pools.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.Clients < 1 && opts.OpenLoopRate <= 0 {
-		return nil, fmt.Errorf("plantnet: need at least one client or a positive OpenLoopRate")
+	if opts.Clients < 1 && opts.OpenLoopRate <= 0 && opts.Arrivals == nil {
+		return nil, fmt.Errorf("plantnet: need at least one client, a positive OpenLoopRate, or an Arrivals profile")
 	}
-	cal := opts.Cal
-	hw := opts.Hardware
-	se := sim.NewEngine()
-	e := &engine{
-		sim:     se,
-		rng:     rngutil.New(opts.Seed),
-		cal:     cal,
-		hw:      hw,
-		cfg:     opts.Pools,
-		respRes: stats.NewReservoir(8192, rngutil.New(opts.Seed+101)),
-		traceN:  opts.TraceRequests,
+	if opts.Arrivals != nil {
+		if err := opts.Arrivals.Validate(); err != nil {
+			return nil, err
+		}
 	}
+	if opts.Network != nil {
+		if err := opts.Network.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return r.prepare(opts).run(opts)
+}
+
+// prepare builds the engine on first use and resets it on every subsequent
+// run. The reset is exhaustive: clock, arena, RNG streams, reservoir,
+// resources, request nodes, links, and aggregation state all return to the
+// fresh-construction state, so a reused engine's run is bit-identical to a
+// fresh one. Construction performs no RNG draws, so build/reuse ordering
+// cannot perturb determinism.
+func (r *Runner) prepare(opts RunOptions) *engine {
+	e := r.e
+	if e == nil {
+		e = &engine{
+			sim:    sim.NewEngine(),
+			rng:    rngutil.New(opts.Seed),
+			resRng: rngutil.New(opts.Seed + 101),
+		}
+		e.respRes = stats.NewReservoir(8192, e.resRng)
+		r.e = e
+	} else {
+		e.sim.Reset()
+		e.rng.Seed(opts.Seed)
+		e.resRng.Seed(opts.Seed + 101)
+		e.respRes.Reset()
+		// Every request node becomes reusable after the calendar reset,
+		// including the ones that were in flight when the last run ended.
+		e.freeReqs = append(e.freeReqs[:0], e.allReqs...)
+		e.next, e.nextGw = 0, 0
+		e.openLoop, e.warmupDone = false, false
+		e.completed = 0
+		e.traces = nil // the previous run's Metrics owns its slice
+		e.windowResp = stats.Welford{}
+		e.taskAgg = [9]stats.Welford{}
+	}
+	e.cal, e.hw = opts.Cal, opts.Hardware
+	e.traceN = opts.TraceRequests
+
+	cal, hw := opts.Cal, opts.Hardware
 	gpuRate := func(k float64) float64 {
 		if k <= 0 {
 			return 0
@@ -306,21 +431,74 @@ func Run(opts RunOptions) (*Metrics, error) {
 		}
 		return rate
 	}
-	for i := 0; i < opts.Replicas; i++ {
-		rep := &replica{
-			cpu:  sim.NewCPU(se, hw.CPUCores),
-			gpu:  sim.NewSharedResource(se, cal.GPURate, gpuRate),
-			http: sim.NewPool(se, "http", opts.Pools.HTTP),
-			dl:   sim.NewPool(se, "download", opts.Pools.Download),
-			ex:   sim.NewPool(se, "extract", opts.Pools.Extract),
-			ss:   sim.NewPool(se, "simsearch", opts.Pools.Simsearch),
+	if len(e.reps) == opts.Replicas {
+		for _, rep := range e.reps {
+			rep.cpu.Reset(hw.CPUCores, sim.CPURate(hw.CPUCores))
+			rep.gpu.Reset(cal.GPURate, gpuRate)
+			rep.http.Reset(opts.Pools.HTTP)
+			rep.dl.Reset(opts.Pools.Download)
+			rep.ex.Reset(opts.Pools.Extract)
+			rep.ss.Reset(opts.Pools.Simsearch)
+			rep.cpu.AddHold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
 		}
-		// Pinned per-extract-worker CPU overhead (busy polling, marshaling).
-		rep.cpu.AddHold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
-		e.reps = append(e.reps, rep)
+	} else {
+		e.reps = e.reps[:0]
+		for i := 0; i < opts.Replicas; i++ {
+			rep := &replica{
+				cpu:  sim.NewCPU(e.sim, hw.CPUCores),
+				gpu:  sim.NewSharedResource(e.sim, cal.GPURate, gpuRate),
+				http: sim.NewPool(e.sim, "http", opts.Pools.HTTP),
+				dl:   sim.NewPool(e.sim, "download", opts.Pools.Download),
+				ex:   sim.NewPool(e.sim, "extract", opts.Pools.Extract),
+				ss:   sim.NewPool(e.sim, "simsearch", opts.Pools.Simsearch),
+			}
+			// Pinned per-extract-worker CPU overhead (busy polling, marshaling).
+			rep.cpu.AddHold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
+			e.reps = append(e.reps, rep)
+		}
 	}
 
-	if opts.OpenLoopRate > 0 {
+	if opts.Network != nil {
+		if e.netRng == nil {
+			e.netRng = rngutil.New(opts.Seed + 211)
+		} else {
+			e.netRng.Seed(opts.Seed + 211)
+		}
+		if e.net != nil && e.netModel == opts.Network {
+			e.net.reset()
+		} else {
+			e.net = buildNetState(e.sim, opts.Network, e.netRng)
+			e.netModel = opts.Network
+		}
+	} else {
+		e.net, e.netModel = nil, nil
+	}
+	return e
+}
+
+// run executes the experiment on a prepared engine.
+func (e *engine) run(opts RunOptions) (*Metrics, error) {
+	se := e.sim
+	cal, hw := e.cal, e.hw
+
+	switch {
+	case opts.Arrivals != nil:
+		// Open-loop, time-varying rate: nonhomogeneous Poisson arrivals by
+		// Lewis-Shedler thinning — candidates at the envelope rate λmax,
+		// accepted with probability λ(now)/λmax. Per candidate, the accept
+		// draw precedes the gap draw, fixing the RNG consumption order.
+		e.openLoop = true
+		rates := opts.Arrivals
+		lmax := rates.Max()
+		var arrive func()
+		arrive = func() {
+			if e.rng.Float64()*lmax < rates.At(se.Now()) {
+				e.submit()
+			}
+			se.Schedule(e.rng.ExpFloat64()/lmax, arrive)
+		}
+		se.Schedule(e.rng.ExpFloat64()/lmax, arrive)
+	case opts.OpenLoopRate > 0:
 		// Open-loop: Poisson arrivals, independent of completions.
 		e.openLoop = true
 		rate := opts.OpenLoopRate
@@ -330,7 +508,7 @@ func Run(opts RunOptions) (*Metrics, error) {
 			se.Schedule(e.rng.ExpFloat64()/rate, arrive)
 		}
 		se.Schedule(e.rng.ExpFloat64()/rate, arrive)
-	} else {
+	default:
 		// Closed-loop clients: each keeps exactly one request in flight,
 		// starting staggered over the first seconds to avoid lockstep.
 		for i := 0; i < opts.Clients; i++ {
@@ -468,15 +646,33 @@ func Run(opts RunOptions) (*Metrics, error) {
 		m.TaskTimes[name] = e.taskAgg[i].Snapshot()
 	}
 	m.Traces = e.traces
+	if e.net != nil {
+		for _, l := range e.net.links {
+			m.NetDelivered += l.Delivered()
+			m.NetRetransmits += l.Retransmits()
+		}
+	}
 	return m, nil
 }
 
-// submit issues one request, assigned round-robin to a replica, and
-// re-submits on completion (closed loop).
+// submit issues one request, assigned round-robin to a replica (and, in
+// simulated network mode, to a gateway), and re-submits on completion
+// (closed loop).
 func (e *engine) submit() {
 	rep := e.reps[e.next%len(e.reps)]
 	e.next++
 	req := e.newRequest(rep)
+	if e.net != nil {
+		// Device -> engine: gateway uplink, then the shared backhaul.
+		if req.netUp == nil {
+			req.bindNet()
+		}
+		req.path = &e.net.paths[e.nextGw%len(e.net.paths)]
+		e.nextGw++
+		req.hop = 0
+		req.netUp()
+		return
+	}
 	// Client -> engine network half-RTT.
 	e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
 }
@@ -518,7 +714,12 @@ func (e *engine) simsearch(req *request) {
 }
 
 func (e *engine) complete(req *request) {
-	// Engine -> client network half-RTT, then the client sees the response
-	// and immediately issues the next request.
+	// Engine -> client network half-RTT, then (in simulated network mode)
+	// the response path hop by hop; the client sees the response and
+	// immediately issues the next request.
+	if e.net != nil {
+		e.sim.Schedule(e.cal.NetworkRTT/2, req.netResp)
+		return
+	}
 	e.sim.Schedule(e.cal.NetworkRTT/2, req.finish)
 }

@@ -1,0 +1,122 @@
+package plantnet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"e2clab/internal/netem"
+	"e2clab/internal/sim"
+)
+
+// NetworkModel switches a run from the analytical network (the caller
+// prices the request path in closed form via netem.TransferSeconds and adds
+// it outside the engine) to the simulated network continuum: every request
+// traverses explicit per-hop sim.Links — its gateway's uplink, then the
+// shared backhaul toward the engine — before the pipeline, and the reverse
+// path after it. Links are bandwidth-shared and loss-aware, so bursts queue
+// on slow uplinks and degradation interacts with load, which the analytical
+// constant cannot capture.
+//
+// Clients are spread round-robin over the gateways of all classes in
+// declaration order (mirroring the replica assignment), so a class with
+// twice the gateways carries twice the traffic. Each gateway is its own
+// uplink contention domain; the backhaul hops are shared by every request
+// in the run.
+type NetworkModel struct {
+	// UploadBytes / ResponseBytes size the payloads crossing the links
+	// (request photo up, identification result down).
+	UploadBytes   float64
+	ResponseBytes float64
+	// Classes describes the gateway tiers (at least one).
+	Classes []NetworkClass
+	// BackhaulUp holds the shared hops beyond the gateway uplink in
+	// device->engine order; BackhaulDown the response hops in
+	// engine->device order. Zero specs are elided when links are built.
+	BackhaulUp   []netem.LinkSpec
+	BackhaulDown []netem.LinkSpec
+}
+
+// NetworkClass is a homogeneous group of gateways sharing an uplink
+// quality; each gateway gets its own pair of uplink links (one per
+// direction) shared by the clients routed through it.
+type NetworkClass struct {
+	Gateways int
+	Up, Down netem.LinkSpec
+}
+
+// Validate rejects structurally unusable models.
+func (nm *NetworkModel) Validate() error {
+	if len(nm.Classes) == 0 {
+		return fmt.Errorf("plantnet: network model needs at least one gateway class")
+	}
+	for i, c := range nm.Classes {
+		if c.Gateways < 1 {
+			return fmt.Errorf("plantnet: network class %d has %d gateways", i, c.Gateways)
+		}
+	}
+	if nm.UploadBytes < 0 || nm.ResponseBytes < 0 {
+		return fmt.Errorf("plantnet: negative payload sizes %v/%v", nm.UploadBytes, nm.ResponseBytes)
+	}
+	return nil
+}
+
+// gatewayPath is one gateway's hop sequence: up in device->engine order,
+// down in engine->device order. Backhaul entries alias the shared links.
+type gatewayPath struct {
+	up, down []*sim.Link
+}
+
+// netState is the instantiated network of one run: every built link (for
+// reset and stat aggregation) plus the per-gateway paths requests cycle
+// through.
+type netState struct {
+	links              []*sim.Link
+	paths              []gatewayPath
+	upBytes, downBytes float64
+}
+
+// buildNetState instantiates the model's links on the engine. All loss
+// draws come from rng in event order, so a run is deterministic in its
+// seed; the construction itself draws nothing.
+func buildNetState(se *sim.Engine, nm *NetworkModel, rng *rand.Rand) *netState {
+	ns := &netState{upBytes: nm.UploadBytes, downBytes: nm.ResponseBytes}
+	build := func(spec netem.LinkSpec) *sim.Link {
+		l := spec.Build(se, rng)
+		ns.links = append(ns.links, l)
+		return l
+	}
+	var backUp, backDown []*sim.Link
+	for _, spec := range nm.BackhaulUp {
+		if !spec.IsZero() {
+			backUp = append(backUp, build(spec))
+		}
+	}
+	for _, spec := range nm.BackhaulDown {
+		if !spec.IsZero() {
+			backDown = append(backDown, build(spec))
+		}
+	}
+	for _, c := range nm.Classes {
+		for g := 0; g < c.Gateways; g++ {
+			var up, down []*sim.Link
+			if !c.Up.IsZero() {
+				up = append(up, build(c.Up))
+			}
+			up = append(up, backUp...)
+			down = append(down, backDown...)
+			if !c.Down.IsZero() {
+				down = append(down, build(c.Down))
+			}
+			ns.paths = append(ns.paths, gatewayPath{up: up, down: down})
+		}
+	}
+	return ns
+}
+
+// reset returns every link to a fresh state after an Engine.Reset; the
+// owner re-seeds the shared rng.
+func (ns *netState) reset() {
+	for _, l := range ns.links {
+		l.Reset()
+	}
+}

@@ -29,7 +29,23 @@ type Repeated struct {
 // accumulation order of the pooled statistics — is identical to a
 // sequential execution for a fixed seed. On error, the first failure in
 // run-index order is returned.
+//
+// Each worker carries one Runner across its runs, so the per-run setup —
+// simulation arena, replicas, pools, reservoir, request nodes and their
+// bound stage closures — is paid once per worker instead of once per
+// repeat. A Runner's reset is bit-complete, so the pooled execution is
+// byte-identical to running every repeat on a fresh engine (enforced by
+// the golden and repeat-determinism tests).
 func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
+	return NewRunner().RunRepeated(opts, repeats)
+}
+
+// RunRepeated is the Runner-bound form of the package-level RunRepeated:
+// the sequential path reuses the receiver's pooled state, so callers that
+// execute many RunRepeated batches (e.g. the phases of one scenario) pay
+// engine setup once. Parallel workers pool privately (a Runner is
+// single-threaded).
+func (r *Runner) RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
@@ -51,7 +67,7 @@ func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 		for i := 0; i < repeats; i++ {
 			o := opts
 			o.Seed = seeds[i]
-			runs[i], errs[i] = Run(o)
+			runs[i], errs[i] = r.Run(o)
 		}
 	} else {
 		var next atomic.Int64
@@ -60,6 +76,7 @@ func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				rn := NewRunner()
 				for {
 					i := int(next.Add(1)) - 1
 					if i >= repeats {
@@ -67,7 +84,7 @@ func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 					}
 					o := opts
 					o.Seed = seeds[i]
-					runs[i], errs[i] = Run(o)
+					runs[i], errs[i] = rn.Run(o)
 				}
 			}()
 		}

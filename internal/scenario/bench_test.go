@@ -1,10 +1,39 @@
 package scenario
 
-import "testing"
+import (
+	"testing"
+
+	"e2clab/internal/config"
+)
 
 // BenchmarkSuite tracks the cost of a full standard-suite campaign at a
 // short protocol (60 s scenarios, 1 repeat) — the suite-runner entry in
 // the perf-trajectory snapshots (scripts/bench.sh).
+// BenchmarkNetworkPath tracks the cost of a simulated-network scenario
+// with a loaded uplink: 40 clients' uploads queue on 20 LTE gateway pipes
+// and a congested shared backhaul, so the hot path exercises link
+// serialization, loss retransmission, and the pooled transfer freelists.
+func BenchmarkNetworkPath(b *testing.B) {
+	sc := Scenario{
+		Name:         "bench-netpath",
+		NetworkModel: "simulated",
+		Gateways: []GatewayClass{
+			{Name: "lte", Count: 20, DelayMS: 45, RateGbps: 0.05, LossPct: 1},
+		},
+		ClientsPerGateway: 2,
+		Degradation: []config.NetworkRule{
+			{Src: "fog", Dst: "cloud", DelayMS: 20, RateGbps: 0.5, Symmetric: true},
+		},
+		DurationSeconds: 120,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sc.Run(42, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSuite(b *testing.B) {
 	s := StandardSuite(60, 1, 42)
 	b.ReportAllocs()

@@ -21,9 +21,9 @@ func PaperScenario() Scenario {
 }
 
 // StandardSuite is the built-in campaign `experiments suite` runs: the
-// paper's deployment plus topology, degradation, heterogeneity, placement,
-// and workload-shape variations of it — eight ready-made edge-to-cloud
-// scenarios.
+// paper's deployment plus topology, degradation, simulated-network,
+// heterogeneity, placement, and workload-shape variations of it — nine
+// ready-made edge-to-cloud scenarios.
 func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	base := PaperScenario()
 
@@ -51,6 +51,17 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 		},
 	})
 
+	// The congested backbone again, but with the network folded into the
+	// event kernel: 80 clients' uploads share the 0.1 Gbps fog-cloud pipe,
+	// so the response time includes the queueing the analytical
+	// slow-backbone row cannot see.
+	simnet := clone(base)
+	simnet.Name = "slow-backbone-simnet"
+	simnet.NetworkModel = "simulated"
+	simnet.Degradation = []config.NetworkRule{
+		{Src: "fog", Dst: "cloud", DelayMS: 150, RateGbps: 0.1, Symmetric: true},
+	}
+
 	// Placement: the engine offloaded to the fog tier (one hop closer,
 	// but a single replica on weaker nodes).
 	fog := clone(base)
@@ -68,6 +79,7 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	var scenarios []Scenario
 	scenarios = append(scenarios, sweep...)
 	scenarios = append(scenarios, degraded...)
+	scenarios = append(scenarios, simnet)
 	scenarios = append(scenarios, hetero...)
 	scenarios = append(scenarios, fog)
 	scenarios = append(scenarios, shapes...)

@@ -31,6 +31,7 @@ import (
 	"e2clab/internal/plantnet"
 	"e2clab/internal/rngutil"
 	"e2clab/internal/stats"
+	"e2clab/internal/workload"
 )
 
 // GatewayClass is a homogeneous group of edge gateways sharing an uplink
@@ -55,6 +56,16 @@ type Scenario struct {
 	// EngineLayer places the identification engine on "cloud" (default) or
 	// "fog": a fog placement shortens the request path by one hop.
 	EngineLayer string `json:"engine_layer,omitempty"`
+	// NetworkModel selects how the request path is priced: "analytical"
+	// (the default, also spelled "") adds the closed-form
+	// netem.TransferSeconds path cost to the engine-side response time,
+	// while "simulated" folds the path into the discrete-event kernel —
+	// every request crosses per-gateway uplink and shared backhaul
+	// sim.Links, so queueing at the gateways and loss-driven
+	// retransmission interact with load. The resolved value is part of the
+	// suite checkpoint fingerprint: resumed campaigns cannot silently mix
+	// models.
+	NetworkModel string `json:"network_model,omitempty"`
 	// Replicas is the number of engine instances (paper: 2 chifflot nodes).
 	Replicas int `json:"replicas,omitempty"`
 	// Pools is the engine thread-pool configuration; zero value means the
@@ -91,6 +102,11 @@ type Scenario struct {
 func (s Scenario) withDefaults() Scenario {
 	if s.EngineLayer == "" {
 		s.EngineLayer = "cloud"
+	}
+	// Normalize the explicit default spelling so a scenario that says
+	// "analytical" fingerprints identically to one that says nothing.
+	if s.NetworkModel == "analytical" {
+		s.NetworkModel = ""
 	}
 	if s.Replicas <= 0 {
 		s.Replicas = 1
@@ -130,6 +146,9 @@ func (s Scenario) Validate() error {
 	d := s.withDefaults()
 	if d.EngineLayer != "cloud" && d.EngineLayer != "fog" {
 		return fmt.Errorf("scenario %q: engine_layer must be cloud or fog, got %q", s.Name, s.EngineLayer)
+	}
+	if d.NetworkModel != "" && d.NetworkModel != "simulated" {
+		return fmt.Errorf("scenario %q: network_model must be analytical or simulated, got %q", s.Name, s.NetworkModel)
 	}
 	if len(d.Gateways) == 0 {
 		return fmt.Errorf("scenario %q: needs at least one gateway class", s.Name)
@@ -244,21 +263,65 @@ func (s Scenario) Deployment() (*config.Scenario, error) {
 		}
 	}
 	rules = append(rules, d.Degradation...)
-	return &config.Scenario{Name: d.Name, Layers: layers, Network: rules}, nil
+	return &config.Scenario{Name: d.Name, NetworkModel: d.networkModelName(),
+		Layers: layers, Network: rules}, nil
+}
+
+// networkModelName is the resolved, explicit model name ("analytical" or
+// "simulated") — what tables, archives, and resumed Results report.
+func (s Scenario) networkModelName() string {
+	if s.withDefaults().NetworkModel == "simulated" {
+		return "simulated"
+	}
+	return "analytical"
+}
+
+// toNetemRules converts config-form rules to the netem form.
+func toNetemRules(rules []config.NetworkRule) []netem.Rule {
+	out := make([]netem.Rule, len(rules))
+	for i, r := range rules {
+		out[i] = netem.Rule{Src: r.Src, Dst: r.Dst, DelayMS: r.DelayMS,
+			RateGbps: r.RateGbps, LossPct: r.LossPct, Symmetric: r.Symmetric}
+	}
+	return out
 }
 
 // classNetwork builds the netem network one gateway class experiences: its
 // own uplink on the edge hop, plus the scenario-wide degradation rules.
 func (s Scenario) classNetwork(g GatewayClass) *netem.Network {
-	rules := []netem.Rule{{
+	rules := append([]netem.Rule{{
 		Src: "edge", Dst: "fog", DelayMS: g.DelayMS,
 		RateGbps: g.RateGbps, LossPct: g.LossPct, Symmetric: true,
-	}}
-	for _, r := range s.Degradation {
-		rules = append(rules, netem.Rule{Src: r.Src, Dst: r.Dst, DelayMS: r.DelayMS,
-			RateGbps: r.RateGbps, LossPct: r.LossPct, Symmetric: r.Symmetric})
-	}
+	}}, toNetemRules(s.Degradation)...)
 	return netem.New(rules...)
+}
+
+// networkModel lowers the scenario's topology and netem rules to the
+// simulated-network form the engine consumes: each gateway becomes its own
+// uplink contention domain on the edge hop (class uplink composed with the
+// degradation rules, one link per direction), and — for a cloud placement —
+// the fog->cloud hop becomes a single backhaul chain shared by every
+// request, which is where a congested backbone queues. Unconstrained hops
+// are elided (they are priced at exactly zero by both models).
+func (s Scenario) networkModel() *plantnet.NetworkModel {
+	d := s.withDefaults()
+	m := &plantnet.NetworkModel{UploadBytes: d.UploadBytes, ResponseBytes: d.ResponseBytes}
+	for _, g := range d.Gateways {
+		n := d.classNetwork(g)
+		m.Classes = append(m.Classes, plantnet.NetworkClass{
+			Gateways: g.Count,
+			Up:       n.Lower("edge", "fog"),
+			Down:     n.Lower("fog", "edge"),
+		})
+	}
+	if d.EngineLayer != "fog" {
+		// Per-class uplink rules only touch the edge hop, so the shared
+		// backhaul is fully described by the degradation rules.
+		deg := netem.New(toNetemRules(d.Degradation)...)
+		m.BackhaulUp = []netem.LinkSpec{deg.Lower("fog", "cloud")}
+		m.BackhaulDown = []netem.LinkSpec{deg.Lower("cloud", "fog")}
+	}
+	return m
 }
 
 // NetworkOverheadSeconds returns the expected per-request network time —
@@ -295,13 +358,22 @@ type Result struct {
 	Gateways int    `json:"gateways"`
 	Clients  int    `json:"clients"`
 	Phases   int    `json:"phases"`
+	// NetModel is the resolved network model the scenario ran under
+	// ("analytical" or "simulated"); it is derived from the spec, not
+	// stored in checkpoints (the fingerprint pins the spec).
+	NetModel string `json:"net_model,omitempty"`
 
 	// EngineResp pools every post-warmup response-time sample across
-	// phases and repeats (engine-side, excluding the network path).
+	// phases and repeats. Analytical mode: engine-side only, excluding the
+	// network path. Simulated mode: the full user-observed time — requests
+	// cross the simulated links inside the run.
 	EngineResp stats.Summary `json:"engine_resp"`
-	// NetOverheadSec is the expected per-request network time.
+	// NetOverheadSec is the closed-form expected per-request network time.
+	// In simulated mode it is reported for comparison only (the measured
+	// samples already include the network, queueing and all).
 	NetOverheadSec float64 `json:"net_overhead_sec"`
-	// RespMean is the user-observed mean: engine + network overhead.
+	// RespMean is the user-observed mean: engine + network overhead in
+	// analytical mode, the pooled sample mean in simulated mode.
 	RespMean float64 `json:"resp_mean"`
 	// RespP95 is the duration-weighted mean of per-run engine p95s.
 	RespP95 float64 `json:"resp_p95"`
@@ -310,9 +382,11 @@ type Result struct {
 	Completed  int     `json:"completed"`
 }
 
-// Run executes the scenario: every workload phase runs plantnet.RunRepeated
-// with a seed derived from `seed`, and phase results aggregate in phase
-// order — the Result is a pure function of (scenario, seed).
+// Run executes the scenario: every workload phase (or, for a continuous
+// shape, the single piecewise-rate run) executes plantnet.RunRepeated with
+// a seed derived from `seed`, and results aggregate in phase order — the
+// Result is a pure function of (scenario, seed). One plantnet.Runner is
+// carried across the phases, so engine setup is paid once per scenario.
 // repeatParallelism bounds the per-phase RunRepeated pool; <= 0 means
 // sequential (not GOMAXPROCS: the suite pool is the parallelism knob, and
 // nesting a repeat pool inside every suite worker would oversubscribe).
@@ -324,27 +398,54 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
+	// The closed-form path cost: the response-time addend in analytical
+	// mode, a reported reference in simulated mode — and, in both, the
+	// reachability gate (+Inf means some class's path composes to total
+	// loss; simulating it would strand every request on a black-hole link).
 	overhead := d.NetworkOverheadSeconds()
 	if math.IsInf(overhead, 1) {
 		return nil, fmt.Errorf("scenario %q: unreachable — a gateway class's path composes to 100%% loss", d.Name)
 	}
+	var netmod *plantnet.NetworkModel
+	if d.NetworkModel == "simulated" {
+		netmod = d.networkModel()
+	}
 	phases := d.Workload.Expand(d.Clients(), d.DurationSeconds)
+	// One engine run per phase — or one continuous run when the shape
+	// carries queue state across its phase boundaries.
+	type phaseRun struct {
+		clients  int
+		arrivals *workload.PiecewiseRate
+		duration float64
+	}
+	var runs []phaseRun
+	if d.Workload.Continuous {
+		runs = []phaseRun{{arrivals: d.Workload.rates(phases),
+			duration: d.DurationSeconds}}
+	} else {
+		for _, ph := range phases {
+			runs = append(runs, phaseRun{clients: ph.Clients, duration: ph.DurationSeconds})
+		}
+	}
 	seeder := rngutil.NewSeeder(seed + 31)
+	runner := plantnet.NewRunner()
 	var pooled stats.Welford
 	var thrSec, p95Sec, elapsed float64
 	completed := 0
-	for _, ph := range phases {
+	for _, pr := range runs {
 		opts := plantnet.RunOptions{
 			Pools:          d.Pools,
-			Clients:        ph.Clients,
+			Clients:        pr.clients,
+			Arrivals:       pr.arrivals,
+			Network:        netmod,
 			Replicas:       d.Replicas,
-			Duration:       ph.DurationSeconds,
-			Warmup:         math.Min(60, ph.DurationSeconds/5),
-			SampleInterval: math.Min(10, ph.DurationSeconds/10),
+			Duration:       pr.duration,
+			Warmup:         math.Min(60, pr.duration/5),
+			SampleInterval: math.Min(10, pr.duration/10),
 			MaxParallel:    repeatParallelism,
 			Seed:           seeder.Next(),
 		}
-		rep, err := plantnet.RunRepeated(opts, d.Repeats)
+		rep, err := runner.RunRepeated(opts, d.Repeats)
 		if err != nil {
 			return nil, fmt.Errorf("scenario %q: %w", d.Name, err)
 		}
@@ -354,11 +455,11 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 					pooled.Add(sample.RespTime)
 				}
 			}
-			p95Sec += m.RespP95 * ph.DurationSeconds
+			p95Sec += m.RespP95 * pr.duration
 			completed += m.Completed
 		}
-		thrSec += rep.Throughput * ph.DurationSeconds
-		elapsed += ph.DurationSeconds
+		thrSec += rep.Throughput * pr.duration
+		elapsed += pr.duration
 	}
 	// Fewer than two samples would leave NaNs (StdDev) in the Result,
 	// which the JSON checkpoint cannot represent.
@@ -366,14 +467,21 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: %d post-warmup samples (duration too short?)", d.Name, pooled.N())
 	}
 	engine := pooled.Snapshot()
+	respMean := engine.Mean + overhead
+	if netmod != nil {
+		// Simulated mode measures the network inside the run; adding the
+		// closed form on top would double-count it.
+		respMean = engine.Mean
+	}
 	return &Result{
 		Name:           d.Name,
 		Gateways:       d.TotalGateways(),
 		Clients:        d.Clients(),
 		Phases:         len(phases),
+		NetModel:       d.networkModelName(),
 		EngineResp:     engine,
 		NetOverheadSec: overhead,
-		RespMean:       engine.Mean + overhead,
+		RespMean:       respMean,
 		RespP95:        p95Sec / (elapsed * float64(d.Repeats)),
 		Throughput:     thrSec / elapsed,
 		Completed:      completed,

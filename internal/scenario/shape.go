@@ -3,14 +3,19 @@ package scenario
 import (
 	"fmt"
 	"math"
+
+	"e2clab/internal/workload"
 )
 
 // Shape describes how the client population evolves over a scenario run.
-// The engine simulator drives a fixed closed-loop population per run, so a
-// shape is realized as a deterministic sequence of piecewise-constant
-// phases, each executed as its own (seeded) engine run; queue state does
-// not carry across phase boundaries — the shape models demand, not a
-// continuous trace.
+//
+// By default a shape is realized as a deterministic sequence of
+// piecewise-constant closed-loop phases, each executed as its own (seeded)
+// engine run; queue state does not carry across phase boundaries — the
+// shape models demand, not a continuous trace. Setting Continuous instead
+// lowers the shape to ONE open-loop engine run driven by a piecewise
+// arrival-rate profile (seeded Lewis thinning), so backlog built during a
+// burst drains into the next phase exactly as it would in production.
 type Shape struct {
 	// Kind is "constant" (default), "bursty" (alternating off-peak/peak
 	// plateaus, the spring-identification-burst pattern of Figure 2), or
@@ -22,6 +27,16 @@ type Shape struct {
 	// BaseFrac is the off-peak population as a fraction of the scenario's
 	// full client population (default 0.5; constant shapes ignore it).
 	BaseFrac float64 `json:"base_frac,omitempty"`
+	// Continuous carries queue state across phase boundaries by lowering
+	// the shape to a single time-varying open-loop run instead of
+	// independent closed-loop phases.
+	Continuous bool `json:"continuous,omitempty"`
+	// RatePerClient converts phase populations to arrival rates for the
+	// continuous lowering, in req/s per client. The default 0.35 is the
+	// inverse of the baseline engine's ~2.8 s closed-loop request cycle,
+	// so a continuous shape presents roughly the demand its phased form
+	// would.
+	RatePerClient float64 `json:"rate_per_client,omitempty"`
 }
 
 // Phase is one piecewise-constant segment of a shaped workload.
@@ -57,6 +72,13 @@ func (s Shape) baseFrac() float64 {
 	return 0.5
 }
 
+func (s Shape) ratePerClient() float64 {
+	if s.RatePerClient > 0 {
+		return s.RatePerClient
+	}
+	return 0.35
+}
+
 // Validate rejects unknown kinds and degenerate parameters.
 func (s Shape) Validate() error {
 	switch s.kind() {
@@ -70,7 +92,27 @@ func (s Shape) Validate() error {
 	if s.BaseFrac < 0 || s.BaseFrac > 1 {
 		return fmt.Errorf("workload shape: base_frac %v outside [0,1]", s.BaseFrac)
 	}
+	if s.RatePerClient < 0 {
+		return fmt.Errorf("workload shape: negative rate_per_client %v", s.RatePerClient)
+	}
 	return nil
+}
+
+// rates lowers already-expanded phases to the piecewise arrival-rate
+// profile of the shape's continuous form: each phase's population times
+// RatePerClient. Taking the phases (instead of re-expanding) keeps the
+// Result's reported phase count and the profile driving the run derived
+// from one expansion.
+func (s Shape) rates(phases []Phase) *workload.PiecewiseRate {
+	rpc := s.ratePerClient()
+	pr := &workload.PiecewiseRate{Phases: make([]workload.RatePhase, len(phases))}
+	for i, ph := range phases {
+		pr.Phases[i] = workload.RatePhase{
+			Rate:            float64(ph.Clients) * rpc,
+			DurationSeconds: ph.DurationSeconds,
+		}
+	}
+	return pr
 }
 
 // Expand realizes the shape over a full client population and experiment

@@ -26,9 +26,14 @@ type Suite struct {
 	Seed int64 `json:"seed,omitempty"`
 	// DurationSeconds / Repeats apply to scenarios that do not override
 	// them (defaults 300 s / 1).
-	DurationSeconds float64    `json:"duration_seconds,omitempty"`
-	Repeats         int        `json:"repeats,omitempty"`
-	Scenarios       []Scenario `json:"scenarios"`
+	DurationSeconds float64 `json:"duration_seconds,omitempty"`
+	Repeats         int     `json:"repeats,omitempty"`
+	// NetworkModel is the default for scenarios that do not set their own
+	// ("analytical" or "simulated"; see Scenario.NetworkModel). The
+	// resolved per-scenario value is fingerprinted, so changing it
+	// invalidates the checkpoint of every affected scenario.
+	NetworkModel string     `json:"network_model,omitempty"`
+	Scenarios    []Scenario `json:"scenarios"`
 }
 
 // LoadSuite reads a suite definition from JSON (the declarative form the
@@ -64,6 +69,9 @@ func (s Suite) resolved() ([]Scenario, error) {
 		}
 		if sc.Repeats <= 0 {
 			sc.Repeats = s.Repeats
+		}
+		if sc.NetworkModel == "" {
+			sc.NetworkModel = s.NetworkModel
 		}
 		sc = sc.withDefaults()
 		if err := sc.Validate(); err != nil {
@@ -223,6 +231,10 @@ func RunSuite(s Suite, opts Options) (*SuiteResult, error) {
 					continue
 				}
 				if r, ok := decodeResult(i, scenarios[i].Name, t.Reports); ok {
+					// NetModel is derived, not checkpointed: the
+					// fingerprint guarantees the spec (and therefore the
+					// model) is unchanged.
+					r.NetModel = scenarios[i].networkModelName()
 					results[i] = r
 					resumed++
 					if opts.Logger != nil {
@@ -390,10 +402,11 @@ func archiveSuite(a *provenance.Archive, s Suite, scenarios []Scenario, seeds []
 		sc := scenarios[i]
 		dep := &provenance.DeploymentRecord{
 			Configuration: map[string]string{
-				"engine_layer": sc.withDefaults().EngineLayer,
-				"pools":        sc.withDefaults().Pools.String(),
-				"workload":     sc.Workload.kind(),
-				"seed":         fmt.Sprint(seeds[i]),
+				"engine_layer":  sc.withDefaults().EngineLayer,
+				"network_model": sc.networkModelName(),
+				"pools":         sc.withDefaults().Pools.String(),
+				"workload":      sc.Workload.kind(),
+				"seed":          fmt.Sprint(seeds[i]),
 			},
 		}
 		if cfg, err := sc.Deployment(); err == nil {

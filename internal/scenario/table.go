@@ -12,7 +12,7 @@ import (
 // place of metrics.
 func ComparisonTable(sr *SuiteResult) *export.Table {
 	t := export.NewTable(fmt.Sprintf("suite %s — cross-scenario comparison", sr.Suite),
-		"scenario", "gateways", "clients", "resp (s)", "±std", "engine (s)",
+		"scenario", "net model", "gateways", "clients", "resp (s)", "±std", "engine (s)",
 		"network (s)", "p95 (s)", "throughput (req/s)", "completed")
 	for i, r := range sr.Results {
 		if r == nil {
@@ -23,7 +23,7 @@ func ComparisonTable(sr *SuiteResult) *export.Table {
 			t.AddRow(fmt.Sprintf("#%d", i), status)
 			continue
 		}
-		t.AddRow(r.Name, r.Gateways, r.Clients,
+		t.AddRow(r.Name, r.NetModel, r.Gateways, r.Clients,
 			r.RespMean, r.EngineResp.StdDev, r.EngineResp.Mean,
 			r.NetOverheadSec, r.RespP95, r.Throughput, r.Completed)
 	}
@@ -33,6 +33,7 @@ func ComparisonTable(sr *SuiteResult) *export.Table {
 // DetailTable renders one scenario's aggregate as a metric/value table.
 func DetailTable(r *Result) *export.Table {
 	t := export.NewTable(fmt.Sprintf("scenario %s", r.Name), "metric", "value")
+	t.AddRow("network model", r.NetModel)
 	t.AddRow("gateways", r.Gateways)
 	t.AddRow("clients", r.Clients)
 	t.AddRow("workload phases", r.Phases)

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"math/rand"
+	"testing"
+)
 
 // Steady-state allocation contracts of the simulation kernel: once the
 // arena, freelists, and tier capacities are warm, the hot loops — event
@@ -63,6 +66,47 @@ func TestZeroAllocSharedJobChurn(t *testing.T) {
 			cpu.Add(0.5, 1, done)
 		}
 		e.Run(e.Now() + 100)
+	})
+}
+
+func TestZeroAllocLinkTransfer(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(1))
+	lossy := NewLink(e, 0.003, 1e7, 20, rng) // bounded pipe + retransmission path
+	pure := NewLink(e, 0.001, 0, 0, rng)     // unlimited-rate, delay-only path
+	done := func() {}
+	// Warm the transfer freelists, the pipe's job freelist, and the calendar.
+	for i := 0; i < 64; i++ {
+		lossy.Transfer(1e5, done)
+		pure.Transfer(1e5, done)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "link transfer churn", func() {
+		for i := 0; i < 8; i++ {
+			lossy.Transfer(1e5, done)
+			pure.Transfer(1e5, done)
+		}
+		e.Run(e.Now() + 100)
+	})
+}
+
+func TestZeroAllocEngineReset(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 4)
+	done := func() {}
+	for i := 0; i < 64; i++ {
+		e.Schedule(float64(i)*0.3, nopFn)
+		cpu.Add(1, 1, done)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "Engine/SharedResource reset churn", func() {
+		e.Reset()
+		cpu.Reset(cpu.MaxRate, nil)
+		for i := 0; i < 8; i++ {
+			e.Schedule(float64(i)*0.3, nopFn)
+			cpu.Add(0.5, 1, done)
+		}
+		e.Run(1e6)
 	})
 }
 

@@ -243,6 +243,30 @@ func (e *Engine) Run(until float64) {
 // O(1): the count is maintained incrementally on Schedule, Cancel, and fire.
 func (e *Engine) Pending() int { return e.live }
 
+// Reset returns the engine to the fresh-constructed state — clock at zero,
+// empty calendar — while keeping the arena, freelist, and tier backing
+// arrays, so a pooled engine's next run schedules without re-growing
+// anything. Every outstanding Event handle (and any resource built on the
+// engine, e.g. SharedResource/Pool/Link) becomes invalid and must be reset
+// or dropped by its owner; plantnet's Runner is the canonical caller.
+func (e *Engine) Reset() {
+	e.now, e.seq, e.live = 0, 0, 0
+	for i := range e.nodes {
+		e.nodes[i].fn = nil
+	}
+	e.nodes = e.nodes[:0]
+	e.free = e.free[:0]
+	e.curB = 0
+	e.frontEnd = bucketW
+	e.ringEnd = ringSlots * bucketW
+	e.front = e.front[:0]
+	for i := range e.ring {
+		e.ring[i] = e.ring[i][:0]
+	}
+	e.ringN = 0
+	e.over = e.over[:0]
+}
+
 // --- arena -----------------------------------------------------------------
 
 func (e *Engine) alloc(fn func()) int32 {

@@ -1,0 +1,149 @@
+package sim
+
+import "math/rand"
+
+// Link models one direction of a network hop as a first-class simulated
+// component: a propagation delay, a bandwidth-shared pipe, and a packet-loss
+// probability driving retransmission. It is the unit netem rules lower to
+// when a scenario runs in simulated-network mode — unlike the closed-form
+// netem.TransferSeconds, concurrent transfers on a Link contend for the
+// pipe, so bursts back up on a slow gateway uplink exactly as they would on
+// the real testbed.
+//
+// A transfer proceeds in attempts: serialize the payload through the shared
+// pipe (processor-sharing — n concurrent transfers each get rate/n), then
+// propagate for the fixed delay, then draw loss; a lost attempt resends the
+// whole payload. Expected delivery time under zero contention is therefore
+// (serialization + delay) / (1 - loss), matching netem.TransferSeconds
+// exactly, and the loss draws come from the seeded RNG the link was built
+// with, so fixed-seed runs are fully deterministic.
+//
+// A fully lossy link (loss >= 100%) is a black hole: Transfer returns
+// without scheduling anything and onDone never fires (the analytical model
+// prices the same path at +Inf). Callers that must not hang should reject
+// such paths up front, as scenario.Run does.
+//
+// Transfer nodes are owned by the link's freelist with their stage
+// continuations bound once per node, so steady-state link traffic performs
+// zero heap allocations (gated by sim/alloc_test.go).
+type Link struct {
+	eng   *Engine
+	delay float64
+	loss  float64
+	rng   *rand.Rand
+	// bw shares the pipe among concurrent transfers (nil when the rate is
+	// unlimited). Work is expressed in solo-serialization SECONDS (bits /
+	// rateBps) with an aggregate rate of 1, not in raw bits: the shared
+	// resource's completion epsilon is absolute, so feeding it 1e6-scale
+	// bit counts would leave float residues that never cross it.
+	bw *SharedResource
+
+	invRate float64 // 1/rateBps, 0 when unlimited
+
+	free []*linkTransfer
+	all  []*linkTransfer // every node ever built, for Reset
+
+	delivered   int64
+	retransmits int64
+	blackholed  int64
+}
+
+// linkTransfer is one in-flight payload; recycled through the freelist.
+type linkTransfer struct {
+	work   float64 // solo serialization time in seconds
+	onDone func()
+	// Stage continuations, bound once per node: serialization finished
+	// (start propagation) and propagation finished (loss draw / delivery).
+	sent, arrived func()
+}
+
+// NewLink builds a link on the engine. delaySec is the one-way propagation
+// delay, rateBps the shared bandwidth in bits/s (0 = unlimited), lossPct
+// the per-attempt loss percentage. The rng drives the loss draws; it may be
+// shared with other links on the same engine (draws happen in deterministic
+// event order).
+func NewLink(eng *Engine, delaySec, rateBps, lossPct float64, rng *rand.Rand) *Link {
+	if delaySec < 0 || delaySec != delaySec {
+		delaySec = 0
+	}
+	l := &Link{eng: eng, delay: delaySec, loss: lossPct, rng: rng}
+	if rateBps > 0 {
+		l.invRate = 1 / rateBps
+		l.bw = NewSharedResource(eng, 1, func(w float64) float64 {
+			if w <= 0 {
+				return 0
+			}
+			return 1
+		})
+	}
+	return l
+}
+
+// Transfer moves payloadBytes across the link and runs onDone on delivery.
+// On a fully lossy link onDone never runs (nothing is scheduled).
+func (l *Link) Transfer(payloadBytes float64, onDone func()) {
+	if l.loss >= 100 {
+		l.blackholed++
+		return
+	}
+	var t *linkTransfer
+	if n := len(l.free); n > 0 {
+		t = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		t = &linkTransfer{}
+		t.sent = func() { l.eng.Schedule(l.delay, t.arrived) }
+		t.arrived = func() { l.arrive(t) }
+		l.all = append(l.all, t)
+	}
+	t.work, t.onDone = payloadBytes*8*l.invRate, onDone
+	l.send(t)
+}
+
+// send starts one attempt: serialization through the shared pipe (when the
+// rate is bounded), then propagation.
+func (l *Link) send(t *linkTransfer) {
+	if l.bw != nil {
+		l.bw.Add(t.work, 1, t.sent)
+		return
+	}
+	l.eng.Schedule(l.delay, t.arrived)
+}
+
+// arrive applies the loss draw: retransmit the whole payload or deliver.
+func (l *Link) arrive(t *linkTransfer) {
+	if l.loss > 0 && l.rng.Float64()*100 < l.loss {
+		l.retransmits++
+		l.send(t)
+		return
+	}
+	l.delivered++
+	fn := t.onDone
+	t.onDone = nil
+	l.free = append(l.free, t)
+	fn()
+}
+
+// Delivered returns how many payloads completed delivery.
+func (l *Link) Delivered() int64 { return l.delivered }
+
+// Retransmits returns how many attempts were lost and resent.
+func (l *Link) Retransmits() int64 { return l.retransmits }
+
+// Blackholed returns how many transfers were swallowed by a >= 100% lossy
+// link.
+func (l *Link) Blackholed() int64 { return l.blackholed }
+
+// Reset returns the link to a fresh state after an Engine.Reset, keeping
+// the transfer freelist (and its bound continuations) so the next run's
+// steady state allocates nothing. The caller owns re-seeding the rng.
+func (l *Link) Reset() {
+	for _, t := range l.all {
+		t.onDone = nil
+	}
+	l.free = append(l.free[:0], l.all...)
+	if l.bw != nil {
+		l.bw.Reset(l.bw.MaxRate, nil)
+	}
+	l.delivered, l.retransmits, l.blackholed = 0, 0, 0
+}

@@ -34,6 +34,23 @@ func NewPool(eng *Engine, name string, size int) *Pool {
 // Name returns the pool's name.
 func (p *Pool) Name() string { return p.name }
 
+// Reset returns the pool to a fresh state with the given slot count after
+// an Engine.Reset, keeping the queue's backing array so the next run's
+// steady state allocates nothing. Waiters still queued are dropped.
+func (p *Pool) Reset(size int) {
+	if size < 1 {
+		panic("sim: pool size must be >= 1")
+	}
+	p.size, p.busy = size, 0
+	for i := range p.queue {
+		p.queue[i] = nil
+	}
+	p.queue, p.head = p.queue[:0], 0
+	p.lastT = p.eng.Now()
+	p.busyInt, p.queueInt = 0, 0
+	p.grants, p.maxQueued = 0, 0
+}
+
 // Size returns the number of slots (the thread-pool size).
 func (p *Pool) Size() int { return p.size }
 

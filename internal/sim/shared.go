@@ -91,9 +91,17 @@ func NewSharedResource(eng *Engine, maxRate float64, totalRate func(float64) flo
 	}
 }
 
+// CPURate is the processor-sharing CPU rate curve: every job runs at full
+// speed below saturation, all CPU-bound work slows proportionally beyond
+// it. Exposed so pooled callers resetting a CPU (SharedResource.Reset
+// rebinds the curve per run) share one source of truth with NewCPU.
+func CPURate(cores float64) func(float64) float64 {
+	return func(w float64) float64 { return math.Min(w, cores) }
+}
+
 // NewCPU returns a processor-sharing CPU with the given core count.
 func NewCPU(eng *Engine, cores float64) *SharedResource {
-	return NewSharedResource(eng, cores, func(w float64) float64 { return math.Min(w, cores) })
+	return NewSharedResource(eng, cores, CPURate(cores))
 }
 
 // NewGPU returns a GPU whose aggregate throughput saturates at ksat
@@ -209,6 +217,28 @@ func (s *SharedResource) Hold(weight float64) (release func()) {
 	}
 }
 
+// Reset returns the resource to a fresh state after an Engine.Reset,
+// recycling in-flight jobs into the freelist so the next run's steady state
+// allocates nothing. totalRate replaces the rate curve when non-nil (rate
+// curves usually close over run parameters, so pooled callers rebind them
+// per run); maxRate is only applied alongside a non-nil totalRate.
+func (s *SharedResource) Reset(maxRate float64, totalRate func(float64) float64) {
+	for _, j := range s.jobs {
+		s.releaseJob(j)
+	}
+	for i := range s.jobs {
+		s.jobs[i] = nil
+	}
+	s.jobs = s.jobs[:0]
+	s.jobWeight, s.holds = 0, 0
+	s.nextEv, s.hasNext = Event{}, false
+	s.lastT = s.eng.Now()
+	s.workInt = 0
+	if totalRate != nil {
+		s.TotalRate, s.MaxRate = totalRate, maxRate
+	}
+}
+
 // ActiveWeight returns the current total weight of running jobs plus holds.
 func (s *SharedResource) ActiveWeight() float64 {
 	return s.holds + s.jobWeight
@@ -306,7 +336,19 @@ func (s *SharedResource) reschedule() {
 			soonest = t
 		}
 	}
-	if s.hasNext && s.eng.Reschedule(s.nextEv, s.eng.Now()+soonest) {
+	// At large clock values now+soonest can collapse to exactly now (the
+	// residue left by advance's float subtraction is below one ulp of the
+	// clock); a completion firing with dt == 0 makes no progress, so pin
+	// the event at least one ulp into the future. Runs whose completions
+	// stay above ulp scale — every run that terminated before this guard
+	// existed — are bit-identical: the branch only fires where the old
+	// code would have rescheduled the same instant forever.
+	now := s.eng.Now()
+	at := now + soonest
+	if at <= now {
+		at = math.Nextafter(now, math.Inf(1))
+	}
+	if s.hasNext && s.eng.Reschedule(s.nextEv, at) {
 		return
 	}
 	if s.completeFn == nil {
@@ -316,6 +358,6 @@ func (s *SharedResource) reschedule() {
 			s.reschedule()
 		}
 	}
-	s.nextEv = s.eng.Schedule(soonest, s.completeFn)
+	s.nextEv = s.eng.At(at, s.completeFn)
 	s.hasNext = true
 }

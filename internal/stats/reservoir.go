@@ -35,6 +35,14 @@ func (r *Reservoir) Add(v float64) {
 	}
 }
 
+// Reset empties the reservoir, keeping its backing array so a pooled
+// reservoir's next stream retains samples without reallocating. The caller
+// owns re-seeding the rng it was built with.
+func (r *Reservoir) Reset() {
+	r.n = 0
+	r.data = r.data[:0]
+}
+
 // N returns how many values were observed (not retained).
 func (r *Reservoir) N() int64 { return r.n }
 

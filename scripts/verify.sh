@@ -2,7 +2,8 @@
 # verify.sh — the tier-1 verification recipe (see ROADMAP.md). Beyond the
 # build and full test suite, it vets the tree, race-checks the packages
 # with goroutine-parallel paths (surrogate worker pool, bo batch scoring,
-# plantnet repeated-run pool, scenario suite runner), and runs the
+# plantnet repeated-run pool — including the simulated-network link and
+# piecewise-arrival code it drives — scenario suite runner), and runs the
 # allocation-regression gate: the
 # kernel's steady-state zero-alloc contracts (sim/alloc_test.go) must hold,
 # or the freelist/calendar work of PR 3 has silently rotted. For wall-clock
@@ -14,7 +15,7 @@ cd "$(dirname "$0")/.."
 go build ./...
 go vet ./...
 go test ./...
-go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/... ./internal/scenario/...
+go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/...
 # Allocation-regression gate: -count=1 forces a real (uncached) run.
 go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
 echo "verify OK"
