@@ -1,0 +1,271 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// globalRandExempt lists the package-level math/rand functions that do not
+// draw from the shared global source: constructors for explicitly seeded
+// generators.
+var globalRandExempt = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+// checkDeterminism applies the wallclock and globalrand checks module-wide
+// and the maprange check inside deterministic packages.
+func checkDeterminism(prog *Program, pkg *Package, cfg *Config) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		if cfg.enabled("wallclock") || cfg.enabled("globalrand") {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pkg, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				switch fn.Pkg().Path() {
+				case "time":
+					if cfg.enabled("wallclock") && (fn.Name() == "Now" || fn.Name() == "Since") {
+						diags = append(diags, diag(prog, call.Pos(), "wallclock",
+							"time.%s reads the wall clock; outputs must be a function of inputs and seed (derive times from the simulation clock, or //simlint:allow wallclock <reason> for archival metadata)",
+							fn.Name()))
+					}
+				case "math/rand", "math/rand/v2":
+					if cfg.enabled("globalrand") && isPackageFunc(fn) && !globalRandExempt[fn.Name()] {
+						diags = append(diags, diag(prog, call.Pos(), "globalrand",
+							"rand.%s draws from the process-global source; draw from a seeded *rand.Rand (see rngutil) instead", fn.Name()))
+					}
+				}
+				return true
+			})
+		}
+		if cfg.enabled("maprange") && pkg.Deterministic {
+			diags = append(diags, checkMapRange(prog, pkg, file)...)
+		}
+	}
+	return diags
+}
+
+// calleeFunc resolves the *types.Func a call invokes, or nil for builtins,
+// conversions, and indirect calls.
+func calleeFunc(pkg *Package, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPackageFunc reports whether fn is a package-level function (not a
+// method).
+func isPackageFunc(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}
+
+// checkMapRange flags `range` statements over maps whose bodies feed an
+// aggregate or output declared outside the loop — the spots where Go's
+// randomized map iteration order leaks into results. Two order-insensitive
+// idioms are recognized and allowed:
+//
+//   - collect-then-sort: the body only appends to an outer slice that is
+//     later passed to a sort call in the same function;
+//   - keyed writes: the body writes m2[k] for the loop key k, which lands
+//     each key exactly once regardless of visit order.
+func checkMapRange(prog *Program, pkg *Package, file *ast.File) []Diagnostic {
+	var diags []Diagnostic
+	for _, decl := range file.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if _, isMap := pkg.Info.TypeOf(rs.X).Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if reason := orderSensitiveEffect(pkg, fd, rs); reason != "" {
+				diags = append(diags, diag(prog, rs.Pos(), "maprange",
+					"map iteration order is randomized, and this loop %s; iterate sorted keys, or //simlint:allow maprange <reason> if order provably cannot reach an output", reason))
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// orderSensitiveEffect scans the range body for a write that makes the
+// loop's outcome depend on iteration order. It returns a description of the
+// first such effect, or "" when the body looks order-insensitive.
+func orderSensitiveEffect(pkg *Package, fd *ast.FuncDecl, rs *ast.RangeStmt) string {
+	keyObj := declaredObj(pkg, rs.Key)
+	reason := ""
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				obj := rootObj(pkg, lhs)
+				if obj == nil || declaredWithin(obj, rs) {
+					continue
+				}
+				if isKeyedMapWrite(pkg, lhs, keyObj) {
+					continue
+				}
+				if i < len(st.Rhs) && isSortedAppend(pkg, lhs, st.Rhs[i], fd, rs) {
+					continue
+				}
+				reason = "assigns to " + obj.Name() + ", declared outside it"
+				return false
+			}
+		case *ast.IncDecStmt:
+			if obj := rootObj(pkg, st.X); obj != nil && !declaredWithin(obj, rs) &&
+				!isKeyedMapWrite(pkg, st.X, keyObj) {
+				reason = "updates " + obj.Name() + ", declared outside it"
+				return false
+			}
+		case *ast.SendStmt:
+			reason = "sends on a channel"
+			return false
+		case *ast.ExprStmt:
+			if call, ok := st.X.(*ast.CallExpr); ok && !isOrderFreeCall(pkg, call) {
+				reason = "calls a function for its side effects"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// declaredObj returns the object an ident expression defines, or nil.
+func declaredObj(pkg *Package, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		return pkg.Info.Defs[id]
+	}
+	return nil
+}
+
+// rootObj unwraps an assignable expression (x, x.f, x[i], *x, ...) down to
+// the variable at its root.
+func rootObj(pkg *Package, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if x.Name == "_" {
+				return nil
+			}
+			if obj := pkg.Info.Uses[x]; obj != nil {
+				return obj
+			}
+			return pkg.Info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredWithin reports whether obj's declaration lies inside the range
+// statement (loop variables and body-local temporaries).
+func declaredWithin(obj types.Object, rs *ast.RangeStmt) bool {
+	return rs.Pos() <= obj.Pos() && obj.Pos() <= rs.End()
+}
+
+// isKeyedMapWrite recognizes m2[k] = v / m2[k]++ for the loop key k: every
+// key is written exactly once, so visit order cannot matter.
+func isKeyedMapWrite(pkg *Package, lhs ast.Expr, keyObj types.Object) bool {
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok || keyObj == nil {
+		return false
+	}
+	if _, isMap := pkg.Info.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	return ok && pkg.Info.Uses[id] == keyObj
+}
+
+// isSortedAppend recognizes the collect-then-sort idiom: lhs = append(lhs,
+// ...) inside the loop with a sort call over lhs later in the same
+// function.
+func isSortedAppend(pkg *Package, lhs ast.Expr, rhs ast.Expr, fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	target := rootObj(pkg, lhs)
+	call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+	if !ok || target == nil {
+		return false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	if b, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin || b.Name() != "append" {
+		return false
+	}
+	if rootObj(pkg, call.Args[0]) != target {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if sorted || n == nil || n.End() <= rs.End() {
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pkg, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if rootObj(pkg, arg) == target {
+				sorted = true
+			}
+		}
+		return true
+	})
+	return sorted
+}
+
+// isOrderFreeCall reports whether a bare call statement cannot leak
+// iteration order: the delete/panic builtins and nothing else.
+func isOrderFreeCall(pkg *Package, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); !isBuiltin {
+		return false
+	}
+	return id.Name == "delete" || id.Name == "panic"
+}

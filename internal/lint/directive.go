@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// allowDirective is one parsed //simlint:allow comment.
+type allowDirective struct {
+	check  string
+	reason string
+	used   bool
+}
+
+// funcAnnotation is a //simlint:noalloc or //simlint:ordered directive
+// attached to a function declaration.
+type funcAnnotation struct {
+	fn     *ast.FuncDecl
+	file   *ast.File
+	path   string // absolute file path
+	reason string
+}
+
+// directives indexes every //simlint: comment of a package.
+type directives struct {
+	// allow maps file path -> line -> suppressions active on that line.
+	// A directive on line L suppresses matching findings on L and L+1, so
+	// it can sit either at the end of the offending line or just above it.
+	allow map[string]map[int][]*allowDirective
+	// noalloc and ordered collect the annotated functions.
+	noalloc []funcAnnotation
+	ordered map[*ast.FuncDecl]bool
+	// hygiene carries findings about the directives themselves.
+	hygiene []Diagnostic
+}
+
+const directivePrefix = "//simlint:"
+
+// collectDirectives parses every simlint directive in the package and
+// checks its hygiene: known verbs, known check names, mandatory reasons,
+// and placement (noalloc/ordered must annotate a function declaration).
+func collectDirectives(prog *Program, pkg *Package) *directives {
+	d := &directives{
+		allow:   map[string]map[int][]*allowDirective{},
+		ordered: map[*ast.FuncDecl]bool{},
+	}
+	for i, file := range pkg.Syntax {
+		path := pkg.Files[i]
+		// Directives inside function doc comments.
+		docOwned := map[*ast.Comment]bool{}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				docOwned[c] = true
+				switch verb {
+				case "noalloc":
+					d.noalloc = append(d.noalloc, funcAnnotation{fn: fd, file: file, path: path, reason: rest})
+				case "ordered":
+					if strings.TrimSpace(rest) == "" {
+						d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+							"//simlint:ordered on %s needs a reason explaining why its goroutines preserve determinism", fd.Name.Name))
+					}
+					d.ordered[fd] = true
+				case "allow":
+					// allow inside a doc comment suppresses nothing useful
+					// (it would cover the func keyword line only); treat as
+					// misplaced to keep suppressions next to their finding.
+					d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+						"//simlint:allow belongs on (or directly above) the offending line, not in a function doc comment"))
+				default:
+					d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+						"unknown directive //simlint:%s", verb))
+				}
+			}
+		}
+		// Free-standing directives (suppressions and misplacements).
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				verb, rest, ok := parseDirective(c.Text)
+				if !ok || docOwned[c] {
+					continue
+				}
+				switch verb {
+				case "allow":
+					check, reason, _ := strings.Cut(rest, " ")
+					reason = strings.TrimSpace(reason)
+					pos := prog.Fset.Position(c.Pos())
+					switch {
+					case !KnownChecks[check]:
+						d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+							"//simlint:allow names unknown check %q", check))
+					case reason == "":
+						d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+							"//simlint:allow %s needs a written reason", check))
+					default:
+						byLine := d.allow[path]
+						if byLine == nil {
+							byLine = map[int][]*allowDirective{}
+							d.allow[path] = byLine
+						}
+						byLine[pos.Line] = append(byLine[pos.Line],
+							&allowDirective{check: check, reason: reason})
+					}
+				case "noalloc", "ordered":
+					d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+						"//simlint:%s must sit in the doc comment of a function declaration", verb))
+				default:
+					d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
+						"unknown directive //simlint:%s", verb))
+				}
+			}
+		}
+	}
+	return d
+}
+
+// parseDirective splits a raw comment into (verb, rest) when it is a
+// simlint directive. Both "//simlint:verb ..." and the accidental
+// "// simlint:verb ..." spelling are accepted so a misformatted directive
+// is reported rather than silently ignored.
+func parseDirective(text string) (verb, rest string, ok bool) {
+	body, found := strings.CutPrefix(text, directivePrefix)
+	if !found {
+		trimmed := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+		if body, found = strings.CutPrefix(trimmed, "simlint:"); !found {
+			return "", "", false
+		}
+	}
+	verb, rest, _ = strings.Cut(body, " ")
+	return verb, strings.TrimSpace(rest), true
+}
+
+// filter drops diagnostics covered by an allow directive for their check on
+// the same line or the line above. Directive-hygiene findings are never
+// suppressible.
+func (d *directives) filter(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, dg := range diags {
+		if dg.Check != "directive" && d.suppressed(dg) {
+			continue
+		}
+		out = append(out, dg)
+	}
+	return out
+}
+
+func (d *directives) suppressed(dg Diagnostic) bool {
+	for path, byLine := range d.allow {
+		if !strings.HasSuffix(path, dg.File) {
+			continue
+		}
+		for _, line := range []int{dg.Line, dg.Line - 1} {
+			for _, a := range byLine[line] {
+				if a.check == dg.Check {
+					a.used = true
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

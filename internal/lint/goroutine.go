@@ -1,0 +1,30 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// checkGoroutine flags `go` statements in deterministic packages whose
+// enclosing function is not blessed with //simlint:ordered. Unordered
+// concurrency is how parallel≠sequential drift starts: results must be
+// written to index-addressed slots (never appended or merged in completion
+// order) for a parallel run to stay bit-identical to the sequential one,
+// and that property is a per-helper design fact a human must attest to.
+func checkGoroutine(prog *Program, pkg *Package, dirs *directives) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if fd := funcFor(file, gs.Pos()); fd != nil && dirs.ordered[fd] {
+				return true
+			}
+			diags = append(diags, diag(prog, gs.Pos(), "goroutine",
+				"goroutine spawned outside a //simlint:ordered helper; deterministic packages may only fan out through worker pools with index-ordered writes"))
+			return true
+		})
+	}
+	return diags
+}

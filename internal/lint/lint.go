@@ -1,0 +1,228 @@
+// Package lint implements simlint, the repository's custom static-analysis
+// suite. It machine-enforces the two standing invariants of ROADMAP.md that
+// runtime tests can only sample:
+//
+//   - determinism: fixed-seed simulation outputs are bit-identical at any
+//     parallelism. A stray time.Now(), a draw from the global math/rand
+//     source, an aggregation loop ranging over a map, or an unmanaged
+//     goroutine can each break that silently on paths the golden tests do
+//     not happen to execute.
+//   - zero allocation: the steady-state kernel paths of PR 3 (ladder
+//     calendar, freelists) and PR 5 (pooled links/resets) allocate nothing.
+//     sim/alloc_test.go samples specific churn loops; the noalloc check
+//     proves the property for every annotated function via the compiler's
+//     own escape analysis.
+//
+// The suite is built entirely on the standard library (go/parser, go/ast,
+// go/types, go/importer): the module is stdlib-only and must stay buildable
+// offline. Package discovery and type-checking are driven by `go list
+// -deps -export -json` — module packages are type-checked from source
+// bottom-up with an importer backed by the already-checked package map,
+// while standard-library imports are satisfied from compiler export data.
+//
+// # Checks
+//
+//   - wallclock:  time.Now / time.Since anywhere outside _test.go files.
+//   - globalrand: package-level math/rand draws (rand.Int, rand.Float64,
+//     rand.Perm, rand.Shuffle, ...) that consume the shared global source.
+//   - maprange:   `range` over a map whose body feeds output or an
+//     aggregate declared outside the loop, in the deterministic packages.
+//     Collect-then-sort key loops are recognized and allowed.
+//   - rngseed:    rand.NewSource / rand.New seeds that are hard-coded
+//     literals or derived from the wall clock instead of tracing to a
+//     parameter, field, or rngutil derivation.
+//   - goroutine:  bare `go` statements in the deterministic packages
+//     outside functions blessed with //simlint:ordered.
+//   - noalloc:    functions annotated //simlint:noalloc are cross-checked
+//     against `go tool compile -m` escape analysis; any "escapes to heap"
+//     or "moved to heap" diagnostic inside the function body fails.
+//   - directive:  hygiene of the //simlint: comments themselves (unknown
+//     checks, missing reasons, misplaced annotations).
+//
+// # Directives
+//
+//   - //simlint:allow <check> <reason>   suppresses findings of <check> on
+//     the same line and the line below; the reason is mandatory.
+//   - //simlint:noalloc <reason>         (function doc comment) declares a
+//     zero-allocation contract checked against escape analysis.
+//   - //simlint:ordered <reason>         (function doc comment) marks an
+//     ordered-aggregation helper whose goroutines are deterministic by
+//     construction (index-ordered writes, parallel == sequential).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// A Diagnostic is a single finding, addressed by position within the module.
+type Diagnostic struct {
+	File    string `json:"file"` // path relative to the module root
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Check   string `json:"check"`
+	Message string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// KnownChecks is the vocabulary accepted by //simlint:allow.
+var KnownChecks = map[string]bool{
+	"wallclock":  true,
+	"globalrand": true,
+	"maprange":   true,
+	"rngseed":    true,
+	"goroutine":  true,
+	"noalloc":    true,
+}
+
+// DeterministicPackages lists the import paths whose code must be a pure
+// function of inputs and seed: everything the simulation, workload,
+// sampling, surrogate, and optimization layers execute between reading a
+// config and emitting a result. maprange and goroutine findings are scoped
+// to these; wallclock, globalrand, and rngseed apply module-wide.
+var DeterministicPackages = []string{
+	"e2clab/internal/sim",
+	"e2clab/internal/plantnet",
+	"e2clab/internal/scenario",
+	"e2clab/internal/surrogate",
+	"e2clab/internal/bo",
+	"e2clab/internal/workload",
+	"e2clab/internal/sample",
+	"e2clab/internal/tune",
+	"e2clab/internal/metaheur",
+}
+
+// Config controls a Run.
+type Config struct {
+	// Dir is the module root (the directory holding go.mod).
+	Dir string
+	// Deterministic lists import paths subject to the deterministic-package
+	// checks. Nil means DeterministicPackages.
+	Deterministic []string
+	// Checks enables a subset of checks by name; nil enables all. The
+	// directive check is always on.
+	Checks map[string]bool
+	// SkipNoAlloc disables the escape-analysis cross-check (it shells out
+	// to the compiler, which pure-AST callers may want to avoid).
+	SkipNoAlloc bool
+}
+
+func (c *Config) enabled(check string) bool {
+	return c.Checks == nil || c.Checks[check]
+}
+
+func (c *Config) deterministic(importPath string) bool {
+	det := c.Deterministic
+	if det == nil {
+		det = DeterministicPackages
+	}
+	for _, p := range det {
+		if p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// Run loads the module at cfg.Dir and applies every enabled check,
+// returning the surviving (unsuppressed) diagnostics sorted by position. A
+// non-nil error means the analysis itself could not run (a build or load
+// failure), not that findings exist.
+func Run(cfg Config) ([]Diagnostic, error) {
+	prog, err := Load(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		pkg.Deterministic = cfg.deterministic(pkg.ImportPath)
+		diags = append(diags, AnalyzePackage(prog, pkg, &cfg)...)
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// AnalyzePackage applies every enabled check to one loaded package and
+// returns the unsuppressed findings. Exposed for fixture tests.
+func AnalyzePackage(prog *Program, pkg *Package, cfg *Config) []Diagnostic {
+	dirs := collectDirectives(prog, pkg)
+	var diags []Diagnostic
+	diags = append(diags, dirs.hygiene...)
+	if cfg.enabled("wallclock") || cfg.enabled("globalrand") || cfg.enabled("maprange") {
+		diags = append(diags, checkDeterminism(prog, pkg, cfg)...)
+	}
+	if cfg.enabled("rngseed") {
+		diags = append(diags, checkRNGSeed(prog, pkg)...)
+	}
+	if cfg.enabled("goroutine") && pkg.Deterministic {
+		diags = append(diags, checkGoroutine(prog, pkg, dirs)...)
+	}
+	if cfg.enabled("noalloc") && !cfg.SkipNoAlloc {
+		nd, err := checkNoAlloc(prog, pkg, dirs)
+		if err != nil {
+			diags = append(diags, Diagnostic{
+				File:    relFile(prog, pkg.Files[0]),
+				Line:    1,
+				Col:     1,
+				Check:   "noalloc",
+				Message: fmt.Sprintf("escape analysis failed: %v", err),
+			})
+		}
+		diags = append(diags, nd...)
+	}
+	return dirs.filter(diags)
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// diag builds a Diagnostic at pos, with the file path relativized to the
+// module root.
+func diag(prog *Program, pos token.Pos, check, format string, args ...any) Diagnostic {
+	p := prog.Fset.Position(pos)
+	return Diagnostic{
+		File:    relFile(prog, p.Filename),
+		Line:    p.Line,
+		Col:     p.Column,
+		Check:   check,
+		Message: fmt.Sprintf(format, args...),
+	}
+}
+
+func relFile(prog *Program, abs string) string {
+	if prog.Dir != "" && strings.HasPrefix(abs, prog.Dir+"/") {
+		return abs[len(prog.Dir)+1:]
+	}
+	return abs
+}
+
+// funcFor returns the innermost top-level function declaration enclosing
+// pos in file, or nil.
+func funcFor(file *ast.File, pos token.Pos) *ast.FuncDecl {
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil &&
+			fd.Body.Pos() <= pos && pos <= fd.Body.End() {
+			return fd
+		}
+	}
+	return nil
+}

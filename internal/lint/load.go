@@ -1,0 +1,308 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// Package is one type-checked module package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Files      []string // absolute paths of non-test Go files
+	Syntax     []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+	Imports    []string
+	// Deterministic marks membership in the deterministic-package set
+	// (set by Run from the Config; fixture loaders set it directly).
+	Deterministic bool
+}
+
+// Program is a loaded module: every module package type-checked in
+// dependency order, plus the export-data locations of the full transitive
+// closure (used both by the type-checking importer and by the noalloc
+// escape-analysis compile).
+type Program struct {
+	Dir      string // module root (absolute)
+	Fset     *token.FileSet
+	Packages []*Package        // module packages, dependency order
+	Export   map[string]string // import path -> export data file
+}
+
+// listPackage is the subset of `go list -json` output the loader consumes.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Standard   bool
+	Export     string
+	Module     *struct{ Path string }
+	Incomplete bool
+	Error      *struct{ Err string }
+	DepsErrors []struct{ Err string }
+}
+
+// Load discovers, parses, and type-checks every package of the module at
+// dir. Discovery runs `go list -deps -export -json ./...`: the -export flag
+// makes the go tool compile (or reuse from the build cache) export data for
+// the whole dependency closure, which satisfies standard-library imports
+// without ever type-checking them from source. Module packages are then
+// checked bottom-up from source with an importer that consults the
+// already-checked package map first.
+func Load(dir string) (*Program, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := goList(abs, "-deps", "-export", "-json", "./...")
+	if err != nil {
+		return nil, err
+	}
+	prog := &Program{Dir: abs, Fset: token.NewFileSet(), Export: map[string]string{}}
+	var module []*listPackage
+	for _, lp := range pkgs {
+		if lp.Error != nil {
+			return nil, fmt.Errorf("lint: go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Export != "" {
+			prog.Export[lp.ImportPath] = lp.Export
+		}
+		if !lp.Standard && lp.Module != nil {
+			module = append(module, lp)
+		}
+	}
+	if len(module) == 0 {
+		return nil, fmt.Errorf("lint: no module packages found under %s", abs)
+	}
+	ordered, err := topoOrder(module)
+	if err != nil {
+		return nil, err
+	}
+
+	checked := map[string]*types.Package{}
+	imp := &chainImporter{
+		checked:  checked,
+		fallback: exportImporter(prog.Fset, prog.Export),
+	}
+	for _, lp := range ordered {
+		pkg, err := typeCheck(prog, lp, imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[pkg.ImportPath] = pkg.Types
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return prog, nil
+}
+
+// goList runs `go list` in dir and decodes its JSON object stream.
+func goList(dir string, args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPackage
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+	return pkgs, nil
+}
+
+// topoOrder sorts module packages so every package follows its in-module
+// imports.
+func topoOrder(pkgs []*listPackage) ([]*listPackage, error) {
+	byPath := make(map[string]*listPackage, len(pkgs))
+	for _, p := range pkgs {
+		byPath[p.ImportPath] = p
+	}
+	var (
+		out     []*listPackage
+		state   = map[string]int{} // 0 unvisited, 1 visiting, 2 done
+		visit   func(p *listPackage) error
+		visited = 0
+	)
+	visit = func(p *listPackage) error {
+		switch state[p.ImportPath] {
+		case 1:
+			return fmt.Errorf("lint: import cycle through %s", p.ImportPath)
+		case 2:
+			return nil
+		}
+		state[p.ImportPath] = 1
+		for _, imp := range p.Imports {
+			if dep, ok := byPath[imp]; ok {
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.ImportPath] = 2
+		visited++
+		out = append(out, p)
+		return nil
+	}
+	// Deterministic traversal order regardless of go list output order.
+	sorted := append([]*listPackage(nil), pkgs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].ImportPath < sorted[j].ImportPath })
+	for _, p := range sorted {
+		if err := visit(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// typeCheck parses and checks one module package from source.
+func typeCheck(prog *Program, lp *listPackage, imp types.Importer) (*Package, error) {
+	pkg := &Package{
+		ImportPath: lp.ImportPath,
+		Dir:        lp.Dir,
+		Imports:    lp.Imports,
+		Info: &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		},
+	}
+	for _, name := range lp.GoFiles {
+		path := filepath.Join(lp.Dir, name)
+		f, err := parser.ParseFile(prog.Fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		pkg.Files = append(pkg.Files, path)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	conf := types.Config{
+		Importer: imp,
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(lp.ImportPath, prog.Fset, pkg.Syntax, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", lp.ImportPath, err)
+	}
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// chainImporter satisfies imports from the already-checked module package
+// map first, falling back to compiler export data for everything else
+// (in practice: the standard library, as the module has no external deps).
+type chainImporter struct {
+	checked  map[string]*types.Package
+	fallback types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.checked[path]; ok {
+		return p, nil
+	}
+	return c.fallback.Import(path)
+}
+
+// exportImporter builds a gc-export-data importer whose file lookup is the
+// export map produced by `go list -export`.
+func exportImporter(fset *token.FileSet, export map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := export[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// LoadExports resolves export-data files for the given import paths (and
+// their transitive dependencies) by shelling out to `go list`. Fixture
+// tests use it to type-check standalone testdata packages against the real
+// standard library.
+func LoadExports(dir string, paths ...string) (map[string]string, error) {
+	pkgs, err := goList(dir, append([]string{"-deps", "-export", "-json"}, paths...)...)
+	if err != nil {
+		return nil, err
+	}
+	export := map[string]string{}
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			export[lp.ImportPath] = lp.Export
+		}
+	}
+	return export, nil
+}
+
+// LoadDir parses and type-checks a single directory as one package outside
+// any module — the fixture path. export supplies the dependency export data
+// (see LoadExports); det marks the package deterministic.
+func LoadDir(fset *token.FileSet, dir string, export map[string]string, det bool) (*Program, *Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog := &Program{Dir: abs, Fset: fset, Export: export}
+	pkg := &Package{Dir: abs, Deterministic: det, Info: &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}}
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(abs, e.Name())
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkg.Files = append(pkg.Files, path)
+		pkg.Syntax = append(pkg.Syntax, f)
+	}
+	if len(pkg.Syntax) == 0 {
+		return nil, nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	pkg.ImportPath = "fixture/" + pkg.Syntax[0].Name.Name
+	conf := types.Config{
+		Importer: &chainImporter{fallback: exportImporter(fset, export)},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	tpkg, err := conf.Check(pkg.ImportPath, fset, pkg.Syntax, pkg.Info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("lint: type-checking fixture %s: %v", dir, err)
+	}
+	pkg.Types = tpkg
+	return prog, pkg, nil
+}

@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// noallocSpan is the body extent of one //simlint:noalloc function.
+type noallocSpan struct {
+	path      string // absolute file path
+	name      string
+	startLine int
+	endLine   int
+}
+
+// checkNoAlloc cross-checks every //simlint:noalloc function against the
+// compiler's escape analysis. The package is compiled once with `go tool
+// compile -m` (export data for its dependencies comes from the loader's
+// `go list -export` run, so no build-cache trickery is needed and the
+// diagnostics can never be silently swallowed by a cached build); any
+// "escapes to heap" or "moved to heap" finding whose position falls inside
+// an annotated function's body is a violation.
+//
+// Two classes of compiler output are deliberately ignored:
+//
+//   - pure string-constant escapes ("..." escapes to heap): a constant
+//     interface conversion, e.g. panic("message"), points at static data
+//     and performs no runtime allocation;
+//   - diagnostics outside annotated spans: cold paths (freelist growth,
+//     constructors) are expected to allocate and must live in separate,
+//     un-annotated functions — with //go:noinline where the compiler would
+//     otherwise fold them into an annotated caller and re-attribute the
+//     allocation to the call site.
+func checkNoAlloc(prog *Program, pkg *Package, dirs *directives) ([]Diagnostic, error) {
+	if len(dirs.noalloc) == 0 {
+		return nil, nil
+	}
+	var spans []noallocSpan
+	for _, a := range dirs.noalloc {
+		start := prog.Fset.Position(a.fn.Pos())
+		end := prog.Fset.Position(a.fn.Body.End())
+		spans = append(spans, noallocSpan{
+			path:      a.path,
+			name:      a.fn.Name.Name,
+			startLine: start.Line,
+			endLine:   end.Line,
+		})
+	}
+	escapes, err := escapeAnalysis(pkg.ImportPath, pkg.Dir, pkg.Files, prog.Export)
+	if err != nil {
+		return nil, err
+	}
+	var diags []Diagnostic
+	for _, esc := range escapes {
+		for _, sp := range spans {
+			if esc.path == sp.path && sp.startLine <= esc.line && esc.line <= sp.endLine {
+				diags = append(diags, Diagnostic{
+					File:    relFile(prog, esc.path),
+					Line:    esc.line,
+					Col:     esc.col,
+					Check:   "noalloc",
+					Message: fmt.Sprintf("%s is annotated //simlint:noalloc but the compiler reports %q; hoist the allocation into a //go:noinline cold-path helper or drop the annotation", sp.name, esc.msg),
+				})
+				break
+			}
+		}
+	}
+	return diags, nil
+}
+
+// escapeDiag is one parsed compiler escape finding.
+type escapeDiag struct {
+	path string
+	line int
+	col  int
+	msg  string
+}
+
+var (
+	posLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+	// A message consisting solely of a quoted string constant escaping is
+	// static data, not a runtime allocation.
+	constString = regexp.MustCompile(`^"(?:[^"\\]|\\.)*" escapes to heap$`)
+)
+
+// escapeAnalysis compiles the given files as one package with -m and
+// returns the heap-allocation diagnostics. export maps every dependency
+// import path to its export-data file (a superset is fine).
+func escapeAnalysis(importPath, dir string, files []string, export map[string]string) ([]escapeDiag, error) {
+	tmp, err := os.MkdirTemp("", "simlint-noalloc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	paths := make([]string, 0, len(export))
+	for p := range export {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", p, export[p])
+	}
+	importcfg := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(importcfg, cfg.Bytes(), 0o644); err != nil {
+		return nil, err
+	}
+
+	args := []string{"tool", "compile",
+		"-p", importPath,
+		"-importcfg", importcfg,
+		"-o", filepath.Join(tmp, "out.o"),
+		"-m",
+	}
+	args = append(args, files...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	// The compiler writes -m diagnostics to stdout and errors to stderr.
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go tool compile -m %s: %v\n%s", importPath, err, stderr.String())
+	}
+
+	var out []escapeDiag
+	seen := map[escapeDiag]bool{}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		m := posLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		isEscape := strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+		if !isEscape || constString.MatchString(msg) {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		path := m[1]
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		// The compiler can repeat a diagnostic (e.g. once per inlining
+		// consideration); report each site once.
+		d := escapeDiag{path: path, line: ln, col: col, msg: msg}
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// seedConstructors are the math/rand (and v2) entry points whose argument
+// is a seed. rand.New is covered transitively: its argument is always a
+// NewSource/NewPCG/NewChaCha8 call or an existing Source value.
+var seedConstructors = map[string]bool{
+	"NewSource":  true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// checkRNGSeed enforces seed discipline on every generator construction
+// outside _test.go files: the seed must trace to a function parameter, a
+// struct field, or an rngutil derivation — never a hard-coded literal and
+// never the wall clock. Hard-coded seeds silently correlate supposedly
+// independent streams; wall-clock seeds destroy reproducibility outright.
+func checkRNGSeed(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || fn.Pkg() == nil || !isPackageFunc(fn) {
+				return true
+			}
+			if p := fn.Pkg().Path(); p != "math/rand" && p != "math/rand/v2" {
+				return true
+			}
+			if !seedConstructors[fn.Name()] {
+				return true
+			}
+			for _, arg := range call.Args {
+				tv, ok := pkg.Info.Types[arg]
+				switch {
+				case ok && tv.Value != nil:
+					diags = append(diags, diag(prog, arg.Pos(), "rngseed",
+						"hard-coded seed %s: derive the seed from a parameter, field, or rngutil stream so runs stay independently seeded", tv.Value))
+				case timeDerived(pkg, arg):
+					diags = append(diags, diag(prog, arg.Pos(), "rngseed",
+						"wall-clock-derived seed: a time-seeded generator makes every run unrepeatable; thread a root seed instead"))
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// timeDerived reports whether any call to the time package appears inside
+// the seed expression (time.Now().UnixNano() and friends).
+func timeDerived(pkg *Package, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pkg, call); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "time" {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,36 @@
+// Package directive exercises hygiene of the simlint comments themselves:
+// unknown verbs and checks, missing reasons, and misplaced annotations.
+// Hygiene findings are never suppressible.
+package directive
+
+// Unknown carries a verb outside the directive vocabulary.
+//
+//simlint:frobnicate no such verb
+func Unknown() {} // want -1 "directive: unknown directive"
+
+// Bare blesses its goroutine but forgot to say why that is sound.
+//
+//simlint:ordered
+func Bare() { // want -1 "directive: //simlint:ordered on Bare needs a reason"
+	ch := make(chan struct{})
+	go func() { close(ch) }()
+	<-ch
+}
+
+// DocAllow parks a line suppression in a doc comment, where it covers
+// nothing useful.
+//
+//simlint:allow wallclock misplaced into the doc block
+func DocAllow() {} // want -1 "directive: //simlint:allow belongs on"
+
+// Misplaced collects the free-standing failure modes.
+func Misplaced() {
+	//simlint:noalloc function annotations go on declarations // want "directive: //simlint:noalloc must sit in the doc comment"
+	_ = 0
+	//simlint:allow nosuchcheck made-up check name // want "directive: //simlint:allow names unknown check"
+	_ = 1
+	//simlint:allow wallclock
+	_ = 2 // want -1 "directive: //simlint:allow wallclock needs a written reason"
+	//simlint:alow wallclock typo in the verb // want "directive: unknown directive //simlint:alow"
+	_ = 3
+}

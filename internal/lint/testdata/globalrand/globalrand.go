@@ -1,0 +1,22 @@
+// Package globalrand exercises the global-source check: package-level
+// math/rand draws consume shared, unseedable state.
+package globalrand
+
+import "math/rand"
+
+// Draw consumes the process-global source.
+func Draw() int {
+	return rand.Int() // want "globalrand: rand.Int draws from the process-global source"
+}
+
+// Mix shuffles through the global source.
+func Mix(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "globalrand: rand.Shuffle draws"
+}
+
+// Seeded builds an explicit generator; the constructors are exempt, and
+// draws on the instance are method calls, not package-level functions.
+func Seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}

@@ -1,0 +1,62 @@
+// Package maprange exercises the map-iteration-order check (deterministic
+// packages only): loops whose bodies feed outer state are flagged, while
+// the two order-insensitive idioms — collect-then-sort and keyed writes —
+// pass untouched.
+package maprange
+
+import "sort"
+
+// Sum folds map values into an accumulator declared outside the loop:
+// float addition is not associative, so visit order leaks into the result.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m { // want "maprange: .*assigns to total, declared outside it"
+		total += v
+	}
+	return total
+}
+
+// Count bumps an outer counter with IncDec.
+func Count(m map[string]int) (n int) {
+	for range m { // want "maprange: .*updates n, declared outside it"
+		n++
+	}
+	return n
+}
+
+// Emit hands each key to a side-effecting callback in visit order.
+func Emit(m map[string]int, emit func(string)) {
+	for k := range m { // want "maprange: .*calls a function for its side effects"
+		emit(k)
+	}
+}
+
+// SortedKeys is the collect-then-sort idiom: the only outer write is an
+// append later canonicalized by a sort call, so order cannot escape.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone writes out[k] for the loop key k: each key lands exactly once
+// regardless of visit order.
+func Clone(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Drain closes every channel; close order is observable in principle, so
+// the check fires and the author attests it cannot reach an output.
+func Drain(m map[string]chan int) {
+	//simlint:allow maprange close order is not observable by any consumer; each channel has one independent reader
+	for _, c := range m {
+		close(c)
+	}
+}

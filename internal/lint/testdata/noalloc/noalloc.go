@@ -1,0 +1,42 @@
+// Package noalloc exercises the escape-analysis cross-check: a
+// //simlint:noalloc annotation on a function that genuinely allocates must
+// fail, pure arithmetic must pass, and constant-string panics (static
+// data, not runtime allocation) must be filtered out. The package imports
+// nothing so the fixture compiles with an empty importcfg.
+package noalloc
+
+// Box is a heap cell for Leaky to lose.
+type Box struct{ N int }
+
+// Sink keeps the compiler honest about Leaky's escape.
+var Sink *Box
+
+// Leaky claims a zero-allocation contract it does not honor: the box
+// escapes through the package-level sink.
+//
+//simlint:noalloc claimed steady-state path (deliberately wrong)
+func Leaky(n int) {
+	b := &Box{N: n} // want "noalloc: Leaky is annotated .*escapes to heap"
+	Sink = b
+}
+
+// Sum is genuinely allocation-free.
+//
+//simlint:noalloc pure arithmetic over the input slice
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Check panics with a constant string; the "escapes to heap" the compiler
+// reports for it points at static data and must not fail the contract.
+//
+//simlint:noalloc constant-string panics are static data
+func Check(ok bool) {
+	if !ok {
+		panic("noalloc fixture: not ok")
+	}
+}

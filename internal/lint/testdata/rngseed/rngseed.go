@@ -1,0 +1,34 @@
+// Package rngseed exercises seed discipline: generator seeds must trace to
+// a parameter, field, or derivation — never a literal or the wall clock.
+package rngseed
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Fixed hard-codes the seed, silently correlating every caller's stream.
+func Fixed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rngseed: hard-coded seed 42"
+}
+
+// Clock seeds from the wall clock, which also trips the wallclock check on
+// the same line.
+func Clock() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want "rngseed: wall-clock-derived seed" "wallclock: time.Now reads the wall clock"
+}
+
+// Derived threads a caller-supplied seed: the sanctioned pattern.
+func Derived(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Fallback is the blessed nil-rng default, suppressed with a reason as the
+// repository's own constructors do.
+func Fallback(rng *rand.Rand) *rand.Rand {
+	if rng == nil {
+		//simlint:allow rngseed deterministic fallback when the caller passes no stream
+		rng = rand.New(rand.NewSource(1))
+	}
+	return rng
+}

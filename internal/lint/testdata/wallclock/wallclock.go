@@ -1,0 +1,27 @@
+// Package wallclock exercises the wall-clock check: time.Now and
+// time.Since are forbidden module-wide unless explicitly allowed.
+package wallclock
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() string {
+	return time.Now().String() // want "wallclock: time.Now reads the wall clock"
+}
+
+// Elapsed measures real elapsed time.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "wallclock: time.Since reads the wall clock"
+}
+
+// Archival shows the sanctioned escape hatch: an allow directive with a
+// written reason, directly above the offending line.
+func Archival() string {
+	//simlint:allow wallclock archival run metadata, never part of simulated outputs
+	return time.Now().String()
+}
+
+// Inline shows the same suppression at the end of the offending line.
+func Inline() string {
+	return time.Now().String() //simlint:allow wallclock archival run metadata again
+}

@@ -45,6 +45,8 @@ func RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 // execute many RunRepeated batches (e.g. the phases of one scenario) pay
 // engine setup once. Parallel workers pool privately (a Runner is
 // single-threaded).
+//
+//simlint:ordered seeds are derived up front and each worker writes runs[i]/errs[i] for the indices it claims; aggregation below walks index order (determinism pinned by repeat tests)
 func (r *Runner) RunRepeated(opts RunOptions, repeats int) (*Repeated, error) {
 	if repeats < 1 {
 		repeats = 1

@@ -193,6 +193,8 @@ func decodeResult(index int, name string, reports []tune.Report) (*Result, bool)
 // with ordered aggregation, optional crash-safe checkpointing, and optional
 // provenance archiving. See Options for the determinism and resume
 // contracts.
+//
+//simlint:ordered per-scenario seeds are derived before the pool starts and workers write results[i]/errs[i] by claimed index; aggregation walks index order (suite_test pins parallel == sequential)
 func RunSuite(s Suite, opts Options) (*SuiteResult, error) {
 	scenarios, err := s.resolved()
 	if err != nil {

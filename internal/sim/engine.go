@@ -129,6 +129,8 @@ type Event struct {
 // Cancel prevents the event from firing, removing it from the calendar
 // immediately (no tombstone). Cancelling a fired or already cancelled event
 // is a no-op.
+//
+//simlint:noalloc steady-state calendar path (PR 3 contract, sim/alloc_test.go)
 func (ev Event) Cancel() {
 	e := ev.eng
 	if e == nil {
@@ -146,6 +148,8 @@ func (ev Event) Cancel() {
 // Schedule runs fn after delay seconds of simulated time. A negative or NaN
 // delay is treated as zero (fires at the current instant, after
 // already-queued events for that instant).
+//
+//simlint:noalloc steady-state calendar path
 func (e *Engine) Schedule(delay float64, fn func()) Event {
 	if delay < 0 || math.IsNaN(delay) {
 		delay = 0
@@ -157,6 +161,8 @@ func (e *Engine) Schedule(delay float64, fn func()) Event {
 // clamped to now (a NaN must not enter the calendar: it is unordered, so it
 // would corrupt every tier's invariants). +Inf is a valid "never unless the
 // horizon is infinite" time.
+//
+//simlint:noalloc steady-state calendar path
 func (e *Engine) At(t float64, fn func()) Event {
 	if t < e.now || math.IsNaN(t) {
 		t = e.now
@@ -175,6 +181,8 @@ func (e *Engine) At(t float64, fn func()) Event {
 // Schedule a new event. High-frequency reschedulers (SharedResource
 // recomputes its next completion on every job arrival) use this to keep the
 // calendar free of dead entries.
+//
+//simlint:noalloc steady-state calendar path
 func (e *Engine) Reschedule(ev Event, t float64) bool {
 	if ev.eng != e || e == nil {
 		return false
@@ -193,6 +201,8 @@ func (e *Engine) Reschedule(ev Event, t float64) bool {
 }
 
 // Step fires the next event. It returns false when the calendar is empty.
+//
+//simlint:noalloc steady-state calendar path
 func (e *Engine) Step() bool {
 	if len(e.front) == 0 && !e.advance() {
 		return false
@@ -209,6 +219,8 @@ func (e *Engine) Step() bool {
 // Run fires events until the calendar is empty or the clock would pass
 // until. The clock is left at min(until, last event time); events scheduled
 // beyond until remain queued.
+//
+//simlint:noalloc steady-state calendar path
 func (e *Engine) Run(until float64) {
 	for {
 		if len(e.front) == 0 {
@@ -249,6 +261,8 @@ func (e *Engine) Pending() int { return e.live }
 // anything. Every outstanding Event handle (and any resource built on the
 // engine, e.g. SharedResource/Pool/Link) becomes invalid and must be reset
 // or dropped by its owner; plantnet's Runner is the canonical caller.
+//
+//simlint:noalloc pooled-reuse path (PR 5 contract): reset must not re-grow
 func (e *Engine) Reset() {
 	e.now, e.seq, e.live = 0, 0, 0
 	for i := range e.nodes {
@@ -269,6 +283,7 @@ func (e *Engine) Reset() {
 
 // --- arena -----------------------------------------------------------------
 
+//simlint:noalloc arena pop; growth is an amortized append into kept capacity
 func (e *Engine) alloc(fn func()) int32 {
 	var idx int32
 	if n := len(e.free); n > 0 {
@@ -282,6 +297,7 @@ func (e *Engine) alloc(fn func()) int32 {
 	return idx
 }
 
+//simlint:noalloc
 func (e *Engine) release(idx int32) {
 	nd := &e.nodes[idx]
 	nd.fn = nil
@@ -293,6 +309,8 @@ func (e *Engine) release(idx int32) {
 // --- calendar tiers --------------------------------------------------------
 
 // insert files an entry into the tier its time belongs to.
+//
+//simlint:noalloc
 func (e *Engine) insert(ent entry) {
 	switch {
 	case ent.time < e.frontEnd:
@@ -304,6 +322,7 @@ func (e *Engine) insert(ent entry) {
 	}
 }
 
+//simlint:noalloc
 func (e *Engine) ringPut(ent entry) {
 	s := int(int64(ent.time*invBucketW) & ringMask)
 	nd := &e.nodes[ent.idx]
@@ -313,6 +332,8 @@ func (e *Engine) ringPut(ent entry) {
 }
 
 // removeEntry detaches a live entry from whatever tier holds it.
+//
+//simlint:noalloc
 func (e *Engine) removeEntry(idx int32) {
 	nd := &e.nodes[idx]
 	switch nd.loc {
@@ -337,6 +358,8 @@ func (e *Engine) removeEntry(idx int32) {
 // advance moves the calendar to the next nonempty bucket, loading it into
 // the front heap. It returns false when no events remain anywhere. The front
 // heap must be empty on entry.
+//
+//simlint:noalloc
 func (e *Engine) advance() bool {
 	if e.ringN > 0 {
 		// The ring invariant guarantees a nonempty slot within ringSlots-1
@@ -371,6 +394,8 @@ func (e *Engine) advance() bool {
 // rebase advances the calendar base to bucket b: loads b's ring slot into
 // the front heap and migrates newly in-horizon overflow events into the
 // ring (each event migrates at most once).
+//
+//simlint:noalloc
 func (e *Engine) rebase(b int64) {
 	e.curB = b
 	e.frontEnd = float64(b+1) * bucketW
@@ -394,6 +419,7 @@ func (e *Engine) rebase(b int64) {
 
 // --- flat (time, seq) min-heaps with arena position tracking ---------------
 
+//simlint:noalloc
 func (e *Engine) heapifyFront() {
 	h := e.front
 	for i, ent := range h {
@@ -405,6 +431,7 @@ func (e *Engine) heapifyFront() {
 	}
 }
 
+//simlint:noalloc
 func (e *Engine) siftUp(h []entry, i int, l loc) {
 	ent := h[i]
 	for i > 0 {
@@ -421,6 +448,7 @@ func (e *Engine) siftUp(h []entry, i int, l loc) {
 	nd.loc, nd.pos = l, int32(i)
 }
 
+//simlint:noalloc
 func (e *Engine) siftDown(h []entry, i int, l loc) {
 	n := len(h)
 	ent := h[i]
@@ -444,11 +472,13 @@ func (e *Engine) siftDown(h []entry, i int, l loc) {
 	nd.loc, nd.pos = l, int32(i)
 }
 
+//simlint:noalloc
 func (e *Engine) heapPush(h *[]entry, l loc, ent entry) {
 	*h = append(*h, ent)
 	e.siftUp(*h, len(*h)-1, l)
 }
 
+//simlint:noalloc
 func (e *Engine) heapPopMin(h *[]entry, l loc) entry {
 	s := *h
 	min := s[0]
@@ -461,6 +491,7 @@ func (e *Engine) heapPopMin(h *[]entry, l loc) entry {
 	return min
 }
 
+//simlint:noalloc
 func (e *Engine) heapRemove(h *[]entry, l loc, i int) {
 	s := *h
 	last := len(s) - 1

@@ -81,27 +81,41 @@ func NewLink(eng *Engine, delaySec, rateBps, lossPct float64, rng *rand.Rand) *L
 
 // Transfer moves payloadBytes across the link and runs onDone on delivery.
 // On a fully lossy link onDone never runs (nothing is scheduled).
+//
+//simlint:noalloc steady-state link traffic (PR 5 contract, sim/alloc_test.go)
 func (l *Link) Transfer(payloadBytes float64, onDone func()) {
+	var t *linkTransfer
 	if l.loss >= 100 {
 		l.blackholed++
 		return
 	}
-	var t *linkTransfer
 	if n := len(l.free); n > 0 {
 		t = l.free[n-1]
 		l.free = l.free[:n-1]
 	} else {
-		t = &linkTransfer{}
-		t.sent = func() { l.eng.Schedule(l.delay, t.arrived) }
-		t.arrived = func() { l.arrive(t) }
-		l.all = append(l.all, t)
+		t = l.newTransfer()
 	}
 	t.work, t.onDone = payloadBytes*8*l.invRate, onDone
 	l.send(t)
 }
 
+// newTransfer builds a node with its stage continuations bound once; the
+// cold path of Transfer. It must stay out of line so the node and closure
+// escapes are not re-attributed into Transfer's //simlint:noalloc span.
+//
+//go:noinline
+func (l *Link) newTransfer() *linkTransfer {
+	t := &linkTransfer{}
+	t.sent = func() { l.eng.Schedule(l.delay, t.arrived) }
+	t.arrived = func() { l.arrive(t) }
+	l.all = append(l.all, t)
+	return t
+}
+
 // send starts one attempt: serialization through the shared pipe (when the
 // rate is bounded), then propagation.
+//
+//simlint:noalloc steady-state link traffic
 func (l *Link) send(t *linkTransfer) {
 	if l.bw != nil {
 		l.bw.Add(t.work, 1, t.sent)
@@ -111,6 +125,8 @@ func (l *Link) send(t *linkTransfer) {
 }
 
 // arrive applies the loss draw: retransmit the whole payload or deliver.
+//
+//simlint:noalloc steady-state link traffic
 func (l *Link) arrive(t *linkTransfer) {
 	if l.loss > 0 && l.rng.Float64()*100 < l.loss {
 		l.retransmits++
@@ -137,6 +153,8 @@ func (l *Link) Blackholed() int64 { return l.blackholed }
 // Reset returns the link to a fresh state after an Engine.Reset, keeping
 // the transfer freelist (and its bound continuations) so the next run's
 // steady state allocates nothing. The caller owns re-seeding the rng.
+//
+//simlint:noalloc pooled-reuse path (PR 5 contract)
 func (l *Link) Reset() {
 	for _, t := range l.all {
 		t.onDone = nil

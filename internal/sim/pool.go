@@ -37,6 +37,8 @@ func (p *Pool) Name() string { return p.name }
 // Reset returns the pool to a fresh state with the given slot count after
 // an Engine.Reset, keeping the queue's backing array so the next run's
 // steady state allocates nothing. Waiters still queued are dropped.
+//
+//simlint:noalloc pooled-reuse path (PR 5 contract)
 func (p *Pool) Reset(size int) {
 	if size < 1 {
 		panic("sim: pool size must be >= 1")
@@ -65,6 +67,8 @@ func (p *Pool) Grants() int64 { return p.grants }
 
 // Request asks for a slot; fn runs (at the current or a later simulation
 // instant) once a slot is granted. The holder must call Release exactly once.
+//
+//simlint:noalloc steady-state pool churn (PR 3 contract, sim/alloc_test.go)
 func (p *Pool) Request(fn func()) {
 	p.account()
 	if p.busy < p.size {
@@ -92,9 +96,12 @@ func (p *Pool) Request(fn func()) {
 }
 
 // Release returns a slot, handing it to the oldest waiter if any.
+//
+//simlint:noalloc steady-state pool churn
 func (p *Pool) Release() {
 	p.account()
 	if p.busy <= 0 {
+		//simlint:allow noalloc message concat sits on the panic path, which is never reached in steady state
 		panic("sim: Release on idle pool " + p.name)
 	}
 	if p.head < len(p.queue) {
@@ -113,6 +120,8 @@ func (p *Pool) Release() {
 }
 
 // account integrates busy and queue time up to the current instant.
+//
+//simlint:noalloc
 func (p *Pool) account() {
 	now := p.eng.Now()
 	dt := now - p.lastT

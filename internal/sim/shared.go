@@ -67,6 +67,8 @@ type Job struct {
 
 // Cancel aborts the job if it is still running. Cancelling a completed,
 // cancelled, or zero Job is a no-op.
+//
+//simlint:noalloc steady-state job churn (PR 3 contract, sim/alloc_test.go)
 func (h Job) Cancel() {
 	if h.j == nil || h.j.gen != h.gen {
 		return
@@ -83,12 +85,21 @@ func (h Job) Cancel() {
 
 // NewSharedResource builds a shared resource on the engine.
 func NewSharedResource(eng *Engine, maxRate float64, totalRate func(float64) float64) *SharedResource {
-	return &SharedResource{
+	s := &SharedResource{
 		eng:       eng,
 		TotalRate: totalRate,
 		MaxRate:   maxRate,
 		lastT:     eng.Now(),
 	}
+	// Bind the next-completion callback here, once per resource, so the
+	// reschedule hot path never allocates a closure (it is annotated
+	// //simlint:noalloc and must stay free of escape sites).
+	s.completeFn = func() {
+		s.hasNext = false
+		s.advance()
+		s.reschedule()
+	}
+	return s
 }
 
 // CPURate is the processor-sharing CPU rate curve: every job runs at full
@@ -115,20 +126,30 @@ func NewGPU(eng *Engine, peak float64, ksat float64) *SharedResource {
 	})
 }
 
+//simlint:noalloc steady-state job churn pops the freelist; growth is in newSharedJob
 func (s *SharedResource) allocJob(work, weight float64, onDone func()) *sharedJob {
 	var j *sharedJob
 	if n := len(s.freeJobs); n > 0 {
 		j = s.freeJobs[n-1]
 		s.freeJobs = s.freeJobs[:n-1]
 	} else {
-		j = &sharedJob{}
+		j = newSharedJob()
 	}
 	j.remaining, j.weight, j.rate, j.onDone = work, weight, 0, onDone
 	return j
 }
 
+// newSharedJob is the cold-path node allocator, kept out of line so its
+// escape stays outside the //simlint:noalloc span of allocJob (inlining
+// would re-attribute the allocation to the call site).
+//
+//go:noinline
+func newSharedJob() *sharedJob { return &sharedJob{} }
+
 // releaseJob retires a node to the freelist; the generation bump invalidates
 // every outstanding handle to it.
+//
+//simlint:noalloc
 func (s *SharedResource) releaseJob(j *sharedJob) {
 	j.gen++
 	j.onDone = nil
@@ -138,6 +159,8 @@ func (s *SharedResource) releaseJob(j *sharedJob) {
 // Add submits a job with the given amount of work and weight; onDone fires
 // when the work completes. The returned handle can Cancel the job (used for
 // failure injection in tests).
+//
+//simlint:noalloc steady-state job churn
 func (s *SharedResource) Add(work, weight float64, onDone func()) Job {
 	if work <= 0 {
 		// Zero-length jobs complete immediately (via the calendar for
@@ -158,6 +181,8 @@ func (s *SharedResource) Add(work, weight float64, onDone func()) Job {
 
 // removeJob drops j from the dense slice, preserving insertion order (which
 // keeps completion ordering deterministic), and updates the running weight.
+//
+//simlint:noalloc
 func (s *SharedResource) removeJob(j *sharedJob) {
 	for i, other := range s.jobs {
 		if other == j {
@@ -175,6 +200,8 @@ func (s *SharedResource) removeJob(j *sharedJob) {
 // (slowing completing jobs under contention) without ever finishing — the
 // model for busy-polling worker threads or background daemons. Each AddHold
 // must be balanced by one RemoveHold with the same weight.
+//
+//simlint:noalloc closure-free hold path (the engine's download stage calls it per request)
 func (s *SharedResource) AddHold(weight float64) {
 	if weight <= 0 {
 		return
@@ -186,6 +213,8 @@ func (s *SharedResource) AddHold(weight float64) {
 
 // RemoveHold releases weight previously added with AddHold. The total hold
 // weight is floored at zero.
+//
+//simlint:noalloc
 func (s *SharedResource) RemoveHold(weight float64) {
 	if weight <= 0 {
 		return
@@ -222,6 +251,8 @@ func (s *SharedResource) Hold(weight float64) (release func()) {
 // allocates nothing. totalRate replaces the rate curve when non-nil (rate
 // curves usually close over run parameters, so pooled callers rebind them
 // per run); maxRate is only applied alongside a non-nil totalRate.
+//
+//simlint:noalloc pooled-reuse path (PR 5 contract)
 func (s *SharedResource) Reset(maxRate float64, totalRate func(float64) float64) {
 	for _, j := range s.jobs {
 		s.releaseJob(j)
@@ -267,6 +298,8 @@ func (s *SharedResource) Utilization(workIntAtT0, t0 float64) float64 {
 
 // advance applies elapsed time to every running job at its current rate and
 // fires completions that are (numerically) due.
+//
+//simlint:noalloc steady-state job churn
 func (s *SharedResource) advance() {
 	now := s.eng.Now()
 	dt := now - s.lastT
@@ -310,6 +343,8 @@ func (s *SharedResource) advance() {
 // reschedule recomputes the next completion event, moving the pending
 // event in place when possible so the calendar stays free of cancelled
 // tombstones.
+//
+//simlint:noalloc steady-state job churn; completeFn is bound once in NewSharedResource
 func (s *SharedResource) reschedule() {
 	if len(s.jobs) == 0 {
 		// Holds alone never complete; nothing to schedule.
@@ -350,13 +385,6 @@ func (s *SharedResource) reschedule() {
 	}
 	if s.hasNext && s.eng.Reschedule(s.nextEv, at) {
 		return
-	}
-	if s.completeFn == nil {
-		s.completeFn = func() {
-			s.hasNext = false
-			s.advance()
-			s.reschedule()
-		}
 	}
 	s.nextEv = s.eng.At(at, s.completeFn)
 	s.hasNext = true

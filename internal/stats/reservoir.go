@@ -18,6 +18,7 @@ func NewReservoir(capacity int, rng *rand.Rand) *Reservoir {
 		capacity = 1
 	}
 	if rng == nil {
+		//simlint:allow rngseed deterministic fallback for a nil rng keeps zero-config reservoirs reproducible; seeded callers pass their own stream
 		rng = rand.New(rand.NewSource(1))
 	}
 	return &Reservoir{cap: capacity, rng: rng, data: make([]float64, 0, capacity)}

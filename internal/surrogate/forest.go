@@ -48,6 +48,7 @@ func NewExtraTrees(cfg ForestConfig, r *rand.Rand) *Forest {
 
 func newForest(name string, cfg ForestConfig, r *rand.Rand, randomThresholds, bootstrap bool) *Forest {
 	if r == nil {
+		//simlint:allow rngseed deterministic fallback for a nil rng; the pipeline always passes a derived stream
 		r = rand.New(rand.NewSource(1))
 	}
 	if cfg.NEstimators <= 0 {

@@ -51,6 +51,7 @@ func (g *GBRT) Reseed(seed int64) {
 // NewGBRT returns an untrained GBRT model.
 func NewGBRT(cfg GBRTConfig, r *rand.Rand) *GBRT {
 	if r == nil {
+		//simlint:allow rngseed deterministic fallback for a nil rng; the pipeline always passes a derived stream
 		r = rand.New(rand.NewSource(1))
 	}
 	if cfg.NEstimators <= 0 {

@@ -30,6 +30,8 @@ func setWorkers(n int) (restore func()) {
 // sharding cannot change results). Ranges smaller than minPerWorker per
 // worker run inline on the caller's goroutine to keep tiny batches free of
 // scheduling overhead.
+//
+//simlint:ordered each shard writes only its own [lo,hi) slots of the output; no draw order, accumulation order, or shared state depends on scheduling (parallel_test.go pins parallel == sequential)
 func parallelFor(n, minPerWorker int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return

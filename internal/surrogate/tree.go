@@ -152,6 +152,7 @@ func (s *treeScratch) reset(n, d int) {
 // NewTree returns an untrained tree.
 func NewTree(cfg TreeConfig, r *rand.Rand) *Tree {
 	if r == nil {
+		//simlint:allow rngseed deterministic fallback for a nil rng; the pipeline always passes a derived stream (see bo/plantnet seeders)
 		r = rand.New(rand.NewSource(1))
 	}
 	return &Tree{cfg: cfg, rng: r}

@@ -161,6 +161,8 @@ type RunConfig struct {
 // parallel, tell results back asynchronously — the paper's optimization
 // cycle (parallel deployment, simultaneous execution, asynchronous model
 // optimization, reconfiguration).
+//
+//simlint:ordered trial configs are Asked under the mutex in submission order; completion-order effects on Tell are part of the documented Concurrency semantics, and Concurrency=1 gives the sequential reference
 func Run(cfg RunConfig, search SearchAlgorithm, objective Objective) (*Analysis, error) {
 	if cfg.NumSamples <= 0 {
 		return nil, fmt.Errorf("tune: NumSamples must be positive, got %d", cfg.NumSamples)

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # verify.sh — the tier-1 verification recipe (see ROADMAP.md). Beyond the
-# build and full test suite, it vets the tree, race-checks the packages
-# with goroutine-parallel paths (surrogate worker pool, bo batch scoring,
+# build and full test suite, it vets the tree, runs simlint (the custom
+# static-analysis gate machine-enforcing the determinism / RNG-discipline /
+# zero-alloc standing invariants), race-checks the packages with
+# goroutine-parallel paths (surrogate worker pool, bo batch scoring,
 # plantnet repeated-run pool — including the simulated-network link and
-# piecewise-arrival code it drives — scenario suite runner), and runs the
+# piecewise-arrival code it drives — scenario suite runner, tune's
+# concurrent trial executor, space transforms it exercises), and runs the
 # allocation-regression gate: the
 # kernel's steady-state zero-alloc contracts (sim/alloc_test.go) must hold,
 # or the freelist/calendar work of PR 3 has silently rotted. For wall-clock
@@ -14,8 +17,10 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+# Static-analysis gate: exits 1 on any unsuppressed finding.
+go run ./cmd/simlint
 go test ./...
-go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/...
+go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/... ./internal/tune/... ./internal/space/...
 # Allocation-regression gate: -count=1 forces a real (uncached) run.
 go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
 echo "verify OK"
