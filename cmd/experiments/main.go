@@ -14,13 +14,16 @@
 // The suite command goes beyond the paper's single 42-node deployment: it
 // runs a scenario-suite campaign (internal/scenario) — topology sweeps,
 // degraded networks, heterogeneous gateway mixes, fog placement, shaped
-// workloads — on a bounded worker pool with a cross-scenario comparison
-// table. Fixed-seed suite output is bit-identical at any -parallel level,
-// and with -checkpoint an interrupted campaign resumes without re-running
-// completed scenarios. Use -suite to run a declarative JSON suite (see
-// examples/suite) instead of the built-in standard campaign, and
-// -netmodel simulated to fold the network path into the event kernel
-// (per-hop links, gateway queueing) instead of the closed-form netem cost.
+// workloads, fault-injection schedules (gateway churn, replica crashes,
+// link flaps), and trace-driven load — on a bounded worker pool with a
+// cross-scenario comparison table. Fixed-seed suite output is
+// bit-identical at any -parallel level, and with -checkpoint an
+// interrupted campaign resumes without re-running completed scenarios
+// (changing a scenario's fault schedule invalidates its checkpoint entry).
+// Use -suite to run a declarative JSON suite (see examples/suite) instead
+// of the built-in standard campaign, and -netmodel simulated (or packet)
+// to fold the network path into the event kernel (per-hop links, gateway
+// queueing) instead of the closed-form netem cost.
 package main
 
 import (
@@ -50,7 +53,7 @@ var (
 	flagParallel   = flag.Int("parallel", 0, "suite worker pool size (0 = GOMAXPROCS, 1 = sequential)")
 	flagCheckpoint = flag.String("checkpoint", "", "suite checkpoint path for crash-safe resume (optional)")
 	flagArchive    = flag.String("archive", "", "suite provenance archive directory (optional)")
-	flagNetModel   = flag.String("netmodel", "", "network model for suite scenarios that don't set one: analytical (default) or simulated (per-hop links with gateway queueing in the event kernel)")
+	flagNetModel   = flag.String("netmodel", "", "network model for suite scenarios that don't set one: analytical (default), simulated (per-hop links with gateway queueing in the event kernel), or packet (simulated links with packetized TCP-like transport)")
 )
 
 func main() {

@@ -25,8 +25,9 @@ type Scenario struct {
 	Name string `json:"name"`
 	// NetworkModel records how the network rules are evaluated when the
 	// scenario is simulated: "analytical" (closed-form transfer times; the
-	// default when empty) or "simulated" (rules lowered to discrete-event
-	// links with gateway queueing; see internal/scenario).
+	// default when empty), "simulated" (rules lowered to discrete-event
+	// links with gateway queueing), or "packet" (simulated links with
+	// packetized TCP-like transport; see internal/scenario).
 	NetworkModel string        `json:"network_model,omitempty"`
 	Layers       []LayerConfig `json:"layers"`
 	Network      []NetworkRule `json:"network,omitempty"`
@@ -77,7 +78,7 @@ func (s *Scenario) Validate() error {
 		return fmt.Errorf("config: scenario %q has no layers", s.Name)
 	}
 	switch s.NetworkModel {
-	case "", "analytical", "simulated":
+	case "", "analytical", "simulated", "packet":
 	default:
 		return fmt.Errorf("config: scenario %q has unknown network_model %q", s.Name, s.NetworkModel)
 	}

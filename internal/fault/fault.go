@@ -1,0 +1,313 @@
+// Package fault defines deterministic, seeded fault schedules for the
+// simulation kernel: gateway churn (join/leave renewal processes), engine
+// replica crashes with recovery, and time-varying link behavior (flaps and
+// stepwise netem transitions). A Spec is declarative and JSON-serializable
+// — it rides scenario fingerprints, so changing a schedule invalidates
+// checkpoint resume — and Compile lowers it to a flat, time-sorted event
+// timeline whose stochastic parts (churn intervals) are drawn from
+// rngutil streams derived from the run seed. Compiling the same spec with
+// the same seed and horizon yields byte-identical timelines, which is what
+// keeps faulted fixed-seed runs bit-identical at any parallelism.
+//
+// All times are in seconds relative to the start of the engine run the
+// schedule is injected into (each phase of a phased scenario replays the
+// schedule from its own t=0).
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"e2clab/internal/rngutil"
+)
+
+// DefaultRequeueDelaySeconds is the mean of the seeded exponential
+// failover delay applied to each request requeued off a crashed replica
+// when the Crash entry does not set one.
+const DefaultRequeueDelaySeconds = 0.5
+
+// Spec is a declarative fault schedule. The zero value (and nil pointer)
+// means "no faults".
+type Spec struct {
+	// GatewayChurn runs an independent seeded up/down renewal process per
+	// gateway: while "down" the gateway accepts no new arrivals and its
+	// in-flight requests fail with a distinct outcome.
+	GatewayChurn *Churn `json:"gateway_churn,omitempty"`
+
+	// ReplicaCrashes are deterministic crash points for engine replicas:
+	// in-service work on the replica is cancelled and requeued on the
+	// surviving pool after a seeded per-request failover delay.
+	ReplicaCrashes []Crash `json:"replica_crashes,omitempty"`
+
+	// LinkFlaps periodically take a gateway's uplink domain (or the
+	// backhaul) fully down and back up; payloads stall while down.
+	LinkFlaps []Flap `json:"link_flaps,omitempty"`
+
+	// LinkSchedule applies explicit netem transitions (stepwise
+	// degradation) at fixed times.
+	LinkSchedule []Transition `json:"link_schedule,omitempty"`
+}
+
+// Churn parameterizes the per-gateway up/down renewal process: alternating
+// exponential intervals with the given means, every gateway starting "up"
+// with its own rngutil substream (so timelines do not depend on how many
+// other gateways churn).
+type Churn struct {
+	MeanUpSeconds   float64 `json:"mean_up_seconds"`
+	MeanDownSeconds float64 `json:"mean_down_seconds"`
+	// Gateways limits churn to the first N gateways; 0 means all.
+	Gateways int `json:"gateways,omitempty"`
+}
+
+// Crash is one deterministic replica crash.
+type Crash struct {
+	Replica   int     `json:"replica"`
+	AtSeconds float64 `json:"at_seconds"`
+	// RecoverAfterSeconds brings the replica back that long after the
+	// crash; 0 means it stays down for the rest of the run.
+	RecoverAfterSeconds float64 `json:"recover_after_seconds,omitempty"`
+	// RequeueDelayMeanSeconds is the mean of the exponential failover
+	// delay per requeued request; 0 selects DefaultRequeueDelaySeconds.
+	RequeueDelayMeanSeconds float64 `json:"requeue_delay_mean_seconds,omitempty"`
+}
+
+// Flap is a periodic down/up cycle on one gateway's uplink domain
+// (Gateway >= 0) or the shared backhaul (Gateway == Backhaul).
+type Flap struct {
+	Gateway        int     `json:"gateway"`
+	FirstAtSeconds float64 `json:"first_at_seconds"`
+	DownSeconds    float64 `json:"down_seconds"`
+	// PeriodSeconds repeats the flap every period (measured down-start to
+	// down-start); 0 means a single flap. Must exceed DownSeconds.
+	PeriodSeconds float64 `json:"period_seconds,omitempty"`
+}
+
+// Backhaul is the Gateway value that targets the shared backhaul links
+// instead of a gateway's own uplink domain.
+const Backhaul = -1
+
+// Transition is one explicit netem transition on a link domain. Keep
+// sentinels follow sim.Link.Reconfigure: a negative DelayMS or LossPct and
+// a non-positive RateGbps keep the current value, so every field must be
+// written explicitly (-1 = keep) — there is no implicit zero.
+type Transition struct {
+	Gateway   int     `json:"gateway"` // gateway index, or Backhaul (-1)
+	AtSeconds float64 `json:"at_seconds"`
+	DelayMS   float64 `json:"delay_ms"`
+	RateGbps  float64 `json:"rate_gbps"`
+	LossPct   float64 `json:"loss_pct"`
+}
+
+// Kind discriminates compiled fault events.
+type Kind uint8
+
+const (
+	GatewayLeave Kind = iota
+	GatewayJoin
+	ReplicaCrash
+	ReplicaRecover
+	LinkDown
+	LinkUp
+	LinkSet
+)
+
+// String names the event kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case GatewayLeave:
+		return "gateway-leave"
+	case GatewayJoin:
+		return "gateway-join"
+	case ReplicaCrash:
+		return "replica-crash"
+	case ReplicaRecover:
+		return "replica-recover"
+	case LinkDown:
+		return "link-down"
+	case LinkUp:
+		return "link-up"
+	case LinkSet:
+		return "link-set"
+	}
+	return "unknown"
+}
+
+// Event is one compiled fault action on the timeline.
+type Event struct {
+	At     float64
+	Kind   Kind
+	Target int // gateway index, replica index, or Backhaul for link kinds
+
+	// Link transition parameters (LinkSet), already lowered to
+	// sim.Link.Reconfigure units: seconds, bits/s, percent.
+	DelaySec, RateBps, LossPct float64
+
+	// RequeueDelaySec is the mean failover delay (ReplicaCrash).
+	RequeueDelaySec float64
+}
+
+// IsZero reports whether the spec schedules nothing.
+func (s *Spec) IsZero() bool {
+	return s == nil || (s.GatewayChurn == nil && len(s.ReplicaCrashes) == 0 &&
+		len(s.LinkFlaps) == 0 && len(s.LinkSchedule) == 0)
+}
+
+// Clone deep-copies the spec so generator-produced scenarios can mutate
+// their schedules independently.
+func (s Spec) Clone() Spec {
+	c := s
+	if s.GatewayChurn != nil {
+		ch := *s.GatewayChurn
+		c.GatewayChurn = &ch
+	}
+	c.ReplicaCrashes = append([]Crash(nil), s.ReplicaCrashes...)
+	c.LinkFlaps = append([]Flap(nil), s.LinkFlaps...)
+	c.LinkSchedule = append([]Transition(nil), s.LinkSchedule...)
+	return c
+}
+
+// Validate checks internal consistency; index bounds against the actual
+// gateway/replica counts are the runner's responsibility (it knows the
+// lowered topology).
+func (s *Spec) Validate() error {
+	if s == nil {
+		return nil
+	}
+	if c := s.GatewayChurn; c != nil {
+		if c.MeanUpSeconds <= 0 || c.MeanDownSeconds <= 0 {
+			return fmt.Errorf("fault: gateway churn means must be > 0 (got up %g, down %g)",
+				c.MeanUpSeconds, c.MeanDownSeconds)
+		}
+		if c.Gateways < 0 {
+			return fmt.Errorf("fault: gateway churn gateways must be >= 0, got %d", c.Gateways)
+		}
+	}
+	for i, cr := range s.ReplicaCrashes {
+		if cr.Replica < 0 {
+			return fmt.Errorf("fault: crash %d: replica must be >= 0, got %d", i, cr.Replica)
+		}
+		if cr.AtSeconds < 0 || cr.RecoverAfterSeconds < 0 || cr.RequeueDelayMeanSeconds < 0 {
+			return fmt.Errorf("fault: crash %d: times must be >= 0", i)
+		}
+	}
+	for i, f := range s.LinkFlaps {
+		if f.Gateway < Backhaul {
+			return fmt.Errorf("fault: flap %d: gateway must be >= -1, got %d", i, f.Gateway)
+		}
+		if f.FirstAtSeconds < 0 || f.DownSeconds <= 0 {
+			return fmt.Errorf("fault: flap %d: first_at must be >= 0 and down > 0", i)
+		}
+		if f.PeriodSeconds != 0 && f.PeriodSeconds <= f.DownSeconds {
+			return fmt.Errorf("fault: flap %d: period %g must exceed down %g",
+				i, f.PeriodSeconds, f.DownSeconds)
+		}
+	}
+	for i, tr := range s.LinkSchedule {
+		if tr.Gateway < Backhaul {
+			return fmt.Errorf("fault: transition %d: gateway must be >= -1, got %d", i, tr.Gateway)
+		}
+		if tr.AtSeconds < 0 {
+			return fmt.Errorf("fault: transition %d: at must be >= 0", i)
+		}
+	}
+	return nil
+}
+
+// Compile lowers the spec to a time-sorted event timeline for one engine
+// run: seed drives the churn interval draws (per-gateway substreams via
+// rngutil.NewSeeder, so a gateway's timeline is independent of the
+// others'), horizonSeconds bounds churn generation, and gateways is the
+// lowered topology size. The result is stable-sorted by time, spec order
+// breaking ties, and byte-identical across calls with equal inputs.
+func Compile(s *Spec, seed int64, horizonSeconds float64, gateways int) []Event {
+	return CompileInto(nil, s, seed, horizonSeconds, gateways)
+}
+
+// CompileInto is Compile appending into dst's backing array, for callers
+// that recompile per run and want to reuse the buffer.
+func CompileInto(dst []Event, s *Spec, seed int64, horizonSeconds float64, gateways int) []Event {
+	ev := dst[:0]
+	if s.IsZero() {
+		return ev
+	}
+	if c := s.GatewayChurn; c != nil && horizonSeconds > 0 {
+		n := gateways
+		if c.Gateways > 0 && c.Gateways < n {
+			n = c.Gateways
+		}
+		seeder := rngutil.NewSeeder(seed)
+		for g := 0; g < n; g++ {
+			rng := seeder.NextRand()
+			t, up := 0.0, true
+			for {
+				if up {
+					t += rng.ExpFloat64() * c.MeanUpSeconds
+				} else {
+					t += rng.ExpFloat64() * c.MeanDownSeconds
+				}
+				if t >= horizonSeconds {
+					break
+				}
+				k := GatewayJoin
+				if up {
+					k = GatewayLeave
+				}
+				ev = append(ev, Event{At: t, Kind: k, Target: g})
+				up = !up
+			}
+		}
+	}
+	for _, cr := range s.ReplicaCrashes {
+		d := cr.RequeueDelayMeanSeconds
+		if d <= 0 {
+			d = DefaultRequeueDelaySeconds
+		}
+		ev = append(ev, Event{At: cr.AtSeconds, Kind: ReplicaCrash, Target: cr.Replica, RequeueDelaySec: d})
+		if cr.RecoverAfterSeconds > 0 {
+			ev = append(ev, Event{At: cr.AtSeconds + cr.RecoverAfterSeconds, Kind: ReplicaRecover, Target: cr.Replica})
+		}
+	}
+	for _, f := range s.LinkFlaps {
+		start, period := f.FirstAtSeconds, f.PeriodSeconds
+		for {
+			ev = append(ev,
+				Event{At: start, Kind: LinkDown, Target: f.Gateway},
+				Event{At: start + f.DownSeconds, Kind: LinkUp, Target: f.Gateway})
+			if period <= 0 {
+				break
+			}
+			start += period
+			if horizonSeconds > 0 && start >= horizonSeconds {
+				break
+			}
+		}
+	}
+	for _, tr := range s.LinkSchedule {
+		ev = append(ev, Event{
+			At: tr.AtSeconds, Kind: LinkSet, Target: tr.Gateway,
+			DelaySec: lowerDelay(tr.DelayMS),
+			RateBps:  lowerRate(tr.RateGbps),
+			LossPct:  tr.LossPct,
+		})
+	}
+	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
+	return ev
+}
+
+// lowerDelay converts a Transition delay (ms, negative = keep) to
+// sim.Link.Reconfigure seconds (negative = keep).
+func lowerDelay(ms float64) float64 {
+	if ms < 0 {
+		return -1
+	}
+	return ms / 1000
+}
+
+// lowerRate converts a Transition rate (Gbps, non-positive = keep) to
+// bits/s (non-positive = keep).
+func lowerRate(gbps float64) float64 {
+	if gbps <= 0 {
+		return 0
+	}
+	return gbps * 1e9
+}

@@ -1,0 +1,177 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func churnSpec() *Spec {
+	return &Spec{
+		GatewayChurn:   &Churn{MeanUpSeconds: 60, MeanDownSeconds: 10},
+		ReplicaCrashes: []Crash{{Replica: 1, AtSeconds: 30, RecoverAfterSeconds: 20}},
+		LinkFlaps:      []Flap{{Gateway: 0, FirstAtSeconds: 15, DownSeconds: 5, PeriodSeconds: 40}},
+		LinkSchedule:   []Transition{{Gateway: Backhaul, AtSeconds: 50, DelayMS: 30, RateGbps: -1, LossPct: -1}},
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	a := Compile(churnSpec(), 42, 300, 4)
+	b := Compile(churnSpec(), 42, 300, 4)
+	if len(a) == 0 {
+		t.Fatal("expected events")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec+seed compiled to different timelines")
+	}
+	c := Compile(churnSpec(), 43, 300, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds compiled to identical churn timelines")
+	}
+}
+
+func TestCompileSortedAndAlternating(t *testing.T) {
+	ev := Compile(churnSpec(), 7, 600, 3)
+	up := map[int]bool{}
+	for i, e := range ev {
+		if i > 0 && ev[i-1].At > e.At {
+			t.Fatalf("events out of order at %d: %g > %g", i, ev[i-1].At, e.At)
+		}
+		switch e.Kind {
+		case GatewayLeave:
+			if up[e.Target] {
+				t.Fatalf("gateway %d left twice without joining", e.Target)
+			}
+			up[e.Target] = true
+		case GatewayJoin:
+			if !up[e.Target] {
+				t.Fatalf("gateway %d joined while up", e.Target)
+			}
+			up[e.Target] = false
+		}
+	}
+}
+
+// A gateway's churn timeline must not depend on how many other gateways
+// exist: each gateway draws from its own derived substream.
+func TestChurnPerGatewaySubstreams(t *testing.T) {
+	spec := &Spec{GatewayChurn: &Churn{MeanUpSeconds: 30, MeanDownSeconds: 5}}
+	one := Compile(spec, 99, 500, 1)
+	many := Compile(spec, 99, 500, 8)
+	var g0 []Event
+	for _, e := range many {
+		if e.Target == 0 {
+			g0 = append(g0, e)
+		}
+	}
+	if !reflect.DeepEqual(one, g0) {
+		t.Fatal("gateway 0 timeline changed when more gateways were added")
+	}
+}
+
+func TestFlapExpansion(t *testing.T) {
+	spec := &Spec{LinkFlaps: []Flap{{Gateway: 2, FirstAtSeconds: 10, DownSeconds: 4, PeriodSeconds: 25}}}
+	ev := Compile(spec, 1, 60, 4)
+	want := []Event{
+		{At: 10, Kind: LinkDown, Target: 2},
+		{At: 14, Kind: LinkUp, Target: 2},
+		{At: 35, Kind: LinkDown, Target: 2},
+		{At: 39, Kind: LinkUp, Target: 2},
+	}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("flap expansion = %+v, want %+v", ev, want)
+	}
+
+	single := Compile(&Spec{LinkFlaps: []Flap{{Gateway: 0, FirstAtSeconds: 5, DownSeconds: 2}}}, 1, 60, 1)
+	if len(single) != 2 {
+		t.Fatalf("single flap expanded to %d events, want 2", len(single))
+	}
+}
+
+func TestCrashLowering(t *testing.T) {
+	spec := &Spec{ReplicaCrashes: []Crash{
+		{Replica: 0, AtSeconds: 20},
+		{Replica: 1, AtSeconds: 40, RecoverAfterSeconds: 15, RequeueDelayMeanSeconds: 2},
+	}}
+	ev := Compile(spec, 1, 100, 0)
+	if len(ev) != 3 {
+		t.Fatalf("got %d events, want 3", len(ev))
+	}
+	if ev[0].Kind != ReplicaCrash || ev[0].RequeueDelaySec != DefaultRequeueDelaySeconds {
+		t.Fatalf("crash 0 = %+v, want default requeue delay", ev[0])
+	}
+	if ev[1].Kind != ReplicaCrash || ev[1].RequeueDelaySec != 2 {
+		t.Fatalf("crash 1 = %+v, want requeue delay 2", ev[1])
+	}
+	if ev[2].Kind != ReplicaRecover || ev[2].At != 55 || ev[2].Target != 1 {
+		t.Fatalf("recover = %+v, want t=55 replica 1", ev[2])
+	}
+}
+
+func TestTransitionLowering(t *testing.T) {
+	spec := &Spec{LinkSchedule: []Transition{
+		{Gateway: Backhaul, AtSeconds: 10, DelayMS: 50, RateGbps: 0.5, LossPct: 3},
+		{Gateway: 1, AtSeconds: 20, DelayMS: -1, RateGbps: -1, LossPct: 100},
+	}}
+	ev := Compile(spec, 1, 100, 2)
+	if ev[0].DelaySec != 0.05 || ev[0].RateBps != 0.5e9 || ev[0].LossPct != 3 {
+		t.Fatalf("transition 0 lowered to %+v", ev[0])
+	}
+	if ev[1].DelaySec != -1 || ev[1].RateBps != 0 || ev[1].LossPct != 100 {
+		t.Fatalf("keep sentinels lowered to %+v", ev[1])
+	}
+}
+
+func TestCompileIntoReusesBuffer(t *testing.T) {
+	buf := Compile(churnSpec(), 42, 300, 4)
+	ptr := &buf[:cap(buf)][0]
+	again := CompileInto(buf, churnSpec(), 42, 300, 4)
+	if &again[:cap(again)][0] != ptr && cap(buf) >= len(again) {
+		t.Fatal("CompileInto did not reuse the buffer")
+	}
+	if !reflect.DeepEqual(buf, again) {
+		t.Fatal("CompileInto produced a different timeline")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []Spec{
+		{GatewayChurn: &Churn{MeanUpSeconds: 0, MeanDownSeconds: 5}},
+		{GatewayChurn: &Churn{MeanUpSeconds: 5, MeanDownSeconds: -1}},
+		{GatewayChurn: &Churn{MeanUpSeconds: 5, MeanDownSeconds: 5, Gateways: -2}},
+		{ReplicaCrashes: []Crash{{Replica: -1, AtSeconds: 10}}},
+		{ReplicaCrashes: []Crash{{Replica: 0, AtSeconds: -1}}},
+		{LinkFlaps: []Flap{{Gateway: -2, FirstAtSeconds: 0, DownSeconds: 1}}},
+		{LinkFlaps: []Flap{{Gateway: 0, FirstAtSeconds: 0, DownSeconds: 0}}},
+		{LinkFlaps: []Flap{{Gateway: 0, FirstAtSeconds: 0, DownSeconds: 5, PeriodSeconds: 4}}},
+		{LinkSchedule: []Transition{{Gateway: -2, AtSeconds: 0}}},
+		{LinkSchedule: []Transition{{Gateway: 0, AtSeconds: -3}}},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+	if err := churnSpec().Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	var nilSpec *Spec
+	if err := nilSpec.Validate(); err != nil {
+		t.Errorf("nil spec rejected: %v", err)
+	}
+	if !nilSpec.IsZero() || !(&Spec{}).IsZero() || churnSpec().IsZero() {
+		t.Error("IsZero misclassified")
+	}
+}
+
+func TestCloneIsolation(t *testing.T) {
+	orig := churnSpec()
+	c := orig.Clone()
+	c.GatewayChurn.MeanUpSeconds = 1
+	c.ReplicaCrashes[0].AtSeconds = 999
+	c.LinkFlaps[0].Gateway = 3
+	c.LinkSchedule[0].LossPct = 50
+	if orig.GatewayChurn.MeanUpSeconds != 60 || orig.ReplicaCrashes[0].AtSeconds != 30 ||
+		orig.LinkFlaps[0].Gateway != 0 || orig.LinkSchedule[0].LossPct != -1 {
+		t.Fatal("Clone shares state with the original")
+	}
+}

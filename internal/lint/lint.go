@@ -88,6 +88,7 @@ var KnownChecks = map[string]bool{
 // to these; wallclock, globalrand, and rngseed apply module-wide.
 var DeterministicPackages = []string{
 	"e2clab/internal/sim",
+	"e2clab/internal/fault",
 	"e2clab/internal/plantnet",
 	"e2clab/internal/scenario",
 	"e2clab/internal/surrogate",

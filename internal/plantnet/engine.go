@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"e2clab/internal/fault"
 	"e2clab/internal/rngutil"
 	"e2clab/internal/sim"
 	"e2clab/internal/stats"
@@ -53,6 +54,14 @@ type RunOptions struct {
 	// TraceRequests records the full Table I task breakdown of the first N
 	// post-warmup completions in Metrics.Traces (0 disables tracing).
 	TraceRequests int
+	// Faults, when non-nil and non-zero, compiles a deterministic fault
+	// schedule into the run's event calendar: gateway churn and link
+	// flaps/transitions (both require Network), and replica crashes with
+	// failover to the surviving replicas. Schedule times are relative to
+	// the start of THIS run; the stochastic parts (churn intervals,
+	// failover delays) draw from their own streams derived from Seed, so
+	// a non-faulted run consumes exactly the same RNG it always did.
+	Faults *fault.Spec
 	// MaxParallel bounds the worker pool RunRepeated uses to execute its
 	// independent seeded runs concurrently; 0 means GOMAXPROCS, 1 forces
 	// sequential execution. A single Run ignores it (the discrete-event
@@ -150,6 +159,21 @@ type Metrics struct {
 	NetDelivered   int64
 	NetRetransmits int64
 
+	// Fault-injection outcome taxonomy (all zero when RunOptions.Faults is
+	// nil). GatewayFailures counts in-flight requests failed by a departed
+	// gateway (closed-loop clients retry through a live one immediately).
+	// CrashRequeues counts requests rescued off a crashed replica and
+	// requeued on a survivor after the seeded failover delay; their
+	// response time includes the failover penalty. CrashFailures counts
+	// requests lost because no replica survived. DroppedArrivals counts
+	// open-loop arrivals dropped because no live gateway or replica could
+	// accept them (closed-loop clients park instead and resume on the next
+	// join/recovery).
+	GatewayFailures int64
+	CrashRequeues   int64
+	CrashFailures   int64
+	DroppedArrivals int64
+
 	Samples []Sample
 	// Traces holds per-request task breakdowns when
 	// RunOptions.TraceRequests > 0.
@@ -181,6 +205,16 @@ type request struct {
 	taskStart float64
 	tasks     [9]float64 // durations in TaskNames order
 
+	// Fault-injection bookkeeping (only consulted when the run has a
+	// fault schedule): the replica/gateway indices behind rep/path, the
+	// request's slot in its replica's in-flight set (-1 when untracked),
+	// and the pending bare stage timer (download, simsearch IO) a crash
+	// must cancel — stale handles are inert, so it is never cleared.
+	repIdx int32
+	gw     int32
+	ifIdx  int32
+	timer  sim.Event
+
 	// Stage continuations, in pipeline order (bound once in bind).
 	arrive, httpGranted, preDone, dlGranted, dlDone,
 	exGranted, exDone, procDone, ssGranted, ssCPUDone,
@@ -197,6 +231,9 @@ func (req *request) bind() {
 	e := req.e
 	req.httpGranted = func() { e.preProcess(req) }
 	req.arrive = func() {
+		if e.faultsOn && !e.admit(req) {
+			return
+		}
 		req.taskStart = e.sim.Now()
 		req.rep.http.Request(req.httpGranted)
 	}
@@ -228,10 +265,13 @@ func (req *request) bind() {
 		req.rep.cpu.Add(e.cal.PostProcessWork.Sample(e.rng), 1, req.postDone)
 	}
 	req.ssCPUDone = func() {
-		e.sim.Schedule(e.cal.SimsearchIOTime.Sample(e.rng), req.ssIODone)
+		req.timer = e.sim.Schedule(e.cal.SimsearchIOTime.Sample(e.rng), req.ssIODone)
 	}
 	req.postDone = func() {
 		e.rec(req, 8) // post-process
+		if e.faultsOn {
+			e.untrack(req) // the response has left the replica
+		}
 		req.rep.http.Release()
 		e.complete(req)
 	}
@@ -259,10 +299,18 @@ func (req *request) bind() {
 // bindNet builds the network-stage continuations. They are bound lazily —
 // on a node's first simulated-network use, not in bind — so analytical
 // runs pay nothing for them; once bound they survive recycling and runner
-// reuse like every other stage closure.
+// reuse like every other stage closure. Kept out of line so its cold-path
+// closure allocations are not re-attributed to the //simlint:noalloc
+// submission paths that call it.
+//
+//go:noinline
 func (req *request) bindNet() {
 	e := req.e
 	req.netUp = func() {
+		if e.faultsOn && e.gwDown[req.gw] {
+			e.failGateway(req)
+			return
+		}
 		if req.hop < len(req.path.up) {
 			l := req.path.up[req.hop]
 			req.hop++
@@ -272,6 +320,10 @@ func (req *request) bindNet() {
 		e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
 	}
 	req.netDown = func() {
+		if e.faultsOn && e.gwDown[req.gw] {
+			e.failGateway(req)
+			return
+		}
 		if req.hop < len(req.path.down) {
 			l := req.path.down[req.hop]
 			req.hop++
@@ -287,13 +339,17 @@ func (req *request) bindNet() {
 }
 
 // replica is one engine instance on one node: its own pools, CPU and GPU.
+// inflight tracks the requests currently inside the replica (arrive to
+// postDone) when a fault schedule is active, so a crash can requeue
+// exactly the affected work.
 type replica struct {
-	cpu  *sim.SharedResource
-	gpu  *sim.SharedResource
-	http *sim.Pool
-	dl   *sim.Pool
-	ex   *sim.Pool
-	ss   *sim.Pool
+	cpu      *sim.SharedResource
+	gpu      *sim.SharedResource
+	http     *sim.Pool
+	dl       *sim.Pool
+	ex       *sim.Pool
+	ss       *sim.Pool
+	inflight []*request
 }
 
 // engine wires the replicas and runs the pipeline. One engine is reused
@@ -314,6 +370,25 @@ type engine struct {
 	net      *netState     // nil in analytical mode
 	netModel *NetworkModel // model net was built from (cache key)
 	nextGw   int           // round-robin client-to-gateway assignment
+
+	// Fault-injection state (see fault.go). faultsOn gates every hot-path
+	// check so non-faulted runs take exactly the branches they always did.
+	faultsOn     bool
+	faultEvents  []fault.Event // compiled timeline (buffer reused across runs)
+	faultCursor  int
+	faultStepFn  func()     // bound once per engine
+	faultRng     *rand.Rand // failover-delay stream, re-seeded per run
+	gwDown       []bool
+	repDown      []bool
+	gwDownCount  int
+	repDownCount int
+	parked       int     // closed-loop clients waiting for capacity to return
+	extractHold  float64 // per-replica pinned CPU hold, re-added on recovery
+
+	cGatewayFail int64
+	cCrashReq    int64
+	cCrashFail   int64
+	cDropped     int64
 
 	openLoop   bool
 	warmupDone bool
@@ -342,6 +417,7 @@ func (e *engine) newRequest(rep *replica) *request {
 	req.rep = rep
 	req.start = e.sim.Now()
 	req.tasks = [9]float64{}
+	req.ifIdx = -1
 	return req
 }
 
@@ -419,6 +495,11 @@ func (r *Runner) prepare(opts RunOptions) *engine {
 	}
 	e.cal, e.hw = opts.Cal, opts.Hardware
 	e.traceN = opts.TraceRequests
+	e.extractHold = opts.Cal.ExtractThreadCPU * float64(opts.Pools.Extract)
+	e.faultsOn = !opts.Faults.IsZero()
+	e.faultCursor, e.parked = 0, 0
+	e.gwDownCount, e.repDownCount = 0, 0
+	e.cGatewayFail, e.cCrashReq, e.cCrashFail, e.cDropped = 0, 0, 0, 0
 
 	cal, hw := opts.Cal, opts.Hardware
 	gpuRate := func(k float64) float64 {
@@ -440,6 +521,10 @@ func (r *Runner) prepare(opts RunOptions) *engine {
 			rep.ex.Reset(opts.Pools.Extract)
 			rep.ss.Reset(opts.Pools.Simsearch)
 			rep.cpu.AddHold(cal.ExtractThreadCPU * float64(opts.Pools.Extract))
+			for i := range rep.inflight {
+				rep.inflight[i] = nil
+			}
+			rep.inflight = rep.inflight[:0]
 		}
 	} else {
 		e.reps = e.reps[:0]
@@ -513,6 +598,16 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 		// starting staggered over the first seconds to avoid lockstep.
 		for i := 0; i < opts.Clients; i++ {
 			se.Schedule(e.rng.Float64()*2, e.submit)
+		}
+	}
+
+	// Fault schedule: compiled and placed on the calendar at setup, BEFORE
+	// the sampler ticks, so at any shared instant fault events fire first
+	// (lowest sequence numbers) — no pending same-instant pipeline event
+	// can slip in between, which is what makes crash/churn handlers sound.
+	if e.faultsOn {
+		if err := e.setupFaults(opts); err != nil {
+			return nil, err
 		}
 	}
 
@@ -612,9 +707,13 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 			}
 		}
 	}
+	// One shared tick closure for every sampling instant: At stores the
+	// exact tick time and Now() returns it bit-for-bit inside the event,
+	// so hoisting the per-tick closures out of the loop changes no output
+	// (it removes ~2 allocations per simulated sample interval).
+	tick := func() { sampleAt(se.Now()) }
 	for t := opts.SampleInterval; t <= opts.Duration+1e-9; t += opts.SampleInterval {
-		t := t
-		se.At(t, func() { sampleAt(t) })
+		se.At(t, tick)
 	}
 
 	se.Run(opts.Duration)
@@ -652,13 +751,22 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 			m.NetRetransmits += l.Retransmits()
 		}
 	}
+	m.GatewayFailures = e.cGatewayFail
+	m.CrashRequeues = e.cCrashReq
+	m.CrashFailures = e.cCrashFail
+	m.DroppedArrivals = e.cDropped
 	return m, nil
 }
 
 // submit issues one request, assigned round-robin to a replica (and, in
 // simulated network mode, to a gateway), and re-submits on completion
-// (closed loop).
+// (closed loop). Under a fault schedule the round-robin skips dead
+// replicas and departed gateways (see submitFaulted).
 func (e *engine) submit() {
+	if e.faultsOn {
+		e.submitFaulted()
+		return
+	}
 	rep := e.reps[e.next%len(e.reps)]
 	e.next++
 	req := e.newRequest(rep)
@@ -700,7 +808,7 @@ func (e *engine) preProcess(req *request) {
 func (e *engine) download(req *request) {
 	e.rec(req, 1) // wait-download
 	req.rep.cpu.AddHold(e.cal.DownloadCPUWeight)
-	e.sim.Schedule(e.cal.DownloadTime.Sample(e.rng), req.dlDone)
+	req.timer = e.sim.Schedule(e.cal.DownloadTime.Sample(e.rng), req.dlDone)
 }
 
 func (e *engine) extract(req *request) {

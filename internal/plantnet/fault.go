@@ -1,0 +1,358 @@
+package plantnet
+
+// Fault injection: RunOptions.Faults compiles to a flat event timeline
+// (internal/fault) that is scheduled on the calendar at setup. Because
+// setup-scheduled events carry the lowest sequence numbers at their
+// instant, a fault event fires before any same-instant pipeline event —
+// so when a crash handler runs, no pending same-instant pool grant or
+// completion exists and the wholesale Pool.Crash/SharedResource.Crash +
+// in-flight requeue is exact. All stochastic fault behavior (churn
+// intervals, failover delays) draws from dedicated streams derived from
+// the run seed (+307 compile, +313 failover), so a non-faulted run's RNG
+// consumption — and therefore every existing golden — is untouched.
+
+import (
+	"fmt"
+
+	"e2clab/internal/fault"
+	"e2clab/internal/rngutil"
+	"e2clab/internal/sim"
+)
+
+// setupFaults validates the spec against the prepared topology, compiles
+// the timeline, and schedules it. Called from run() on a prepared engine.
+func (e *engine) setupFaults(opts RunOptions) error {
+	spec := opts.Faults
+	if err := spec.Validate(); err != nil {
+		return err
+	}
+	ngw := 0
+	if e.net != nil {
+		ngw = len(e.net.paths)
+	}
+	if spec.GatewayChurn != nil && e.net == nil {
+		return fmt.Errorf("plantnet: gateway churn requires a simulated network model")
+	}
+	if (len(spec.LinkFlaps) > 0 || len(spec.LinkSchedule) > 0) && e.net == nil {
+		return fmt.Errorf("plantnet: link flaps/schedules require a simulated network model")
+	}
+	for _, cr := range spec.ReplicaCrashes {
+		if cr.Replica >= len(e.reps) {
+			return fmt.Errorf("plantnet: crash targets replica %d of %d", cr.Replica, len(e.reps))
+		}
+	}
+	checkLinkTarget := func(g int, what string) error {
+		if g == fault.Backhaul {
+			if len(e.net.backhaul) == 0 {
+				return fmt.Errorf("plantnet: %s targets the backhaul, but the model has no backhaul links", what)
+			}
+			return nil
+		}
+		if g >= ngw {
+			return fmt.Errorf("plantnet: %s targets gateway %d of %d", what, g, ngw)
+		}
+		if own := e.net.own[g]; own[0] == nil && own[1] == nil {
+			return fmt.Errorf("plantnet: %s targets gateway %d, whose class has no dedicated uplink", what, g)
+		}
+		return nil
+	}
+	for _, f := range spec.LinkFlaps {
+		if err := checkLinkTarget(f.Gateway, "link flap"); err != nil {
+			return err
+		}
+	}
+	for _, tr := range spec.LinkSchedule {
+		if err := checkLinkTarget(tr.Gateway, "link transition"); err != nil {
+			return err
+		}
+	}
+
+	e.faultEvents = fault.CompileInto(e.faultEvents, spec, opts.Seed+307, opts.Duration, ngw)
+	if e.faultRng == nil {
+		e.faultRng = rngutil.New(opts.Seed + 313)
+	} else {
+		e.faultRng.Seed(opts.Seed + 313)
+	}
+	e.gwDown = resetBools(e.gwDown, ngw)
+	e.repDown = resetBools(e.repDown, len(e.reps))
+	if e.faultStepFn == nil {
+		e.faultStepFn = e.faultStep
+	}
+	for i := range e.faultEvents {
+		e.sim.At(e.faultEvents[i].At, e.faultStepFn)
+	}
+	return nil
+}
+
+// resetBools returns a length-n all-false slice reusing b's capacity.
+func resetBools(b []bool, n int) []bool {
+	if cap(b) < n {
+		return make([]bool, n)
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
+}
+
+// faultStep dispatches the next timeline event. Events are scheduled in
+// timeline order at setup, so same-instant events fire in timeline order
+// and a single cursor tracks which one is due — one bound closure total,
+// zero allocations per event.
+//
+//simlint:noalloc fault event dispatch (PR 7 contract)
+func (e *engine) faultStep() {
+	ev := &e.faultEvents[e.faultCursor]
+	e.faultCursor++
+	switch ev.Kind {
+	case fault.GatewayLeave:
+		if !e.gwDown[ev.Target] {
+			e.gwDown[ev.Target] = true
+			e.gwDownCount++
+		}
+	case fault.GatewayJoin:
+		if e.gwDown[ev.Target] {
+			e.gwDown[ev.Target] = false
+			e.gwDownCount--
+			e.drainParked()
+		}
+	case fault.ReplicaCrash:
+		e.crashReplica(ev.Target, ev.RequeueDelaySec)
+	case fault.ReplicaRecover:
+		e.recoverReplica(ev.Target)
+	case fault.LinkDown, fault.LinkUp, fault.LinkSet:
+		e.applyLinkEvent(ev)
+	}
+}
+
+// crashReplica kills replica ri: all in-service work is dropped wholesale
+// (Pool.Crash / SharedResource.Crash keep the monitoring integrals), then
+// every in-flight request is requeued on a surviving replica after a
+// seeded exponential failover delay of mean meanDelay — or counted as
+// lost when no replica survives.
+//
+//simlint:noalloc fault event path (crash/failover, PR 7 contract)
+func (e *engine) crashReplica(ri int, meanDelay float64) {
+	if e.repDown[ri] {
+		return
+	}
+	rep := e.reps[ri]
+	e.repDown[ri] = true
+	e.repDownCount++
+	rep.cpu.Crash()
+	rep.gpu.Crash()
+	rep.http.Crash()
+	rep.dl.Crash()
+	rep.ex.Crash()
+	rep.ss.Crash()
+	alive := e.repDownCount < len(e.reps)
+	for i, req := range rep.inflight {
+		rep.inflight[i] = nil
+		req.timer.Cancel() // pending download / simsearch-IO stage timer
+		req.ifIdx = -1
+		if !alive {
+			e.cCrashFail++
+			e.freeReqs = append(e.freeReqs, req)
+			if !e.openLoop {
+				e.parked++
+			}
+			continue
+		}
+		e.cCrashReq++
+		req.tasks = [9]float64{}
+		e.reassign(req)
+		e.sim.Schedule(e.faultRng.ExpFloat64()*meanDelay, req.arrive)
+	}
+	rep.inflight = rep.inflight[:0]
+}
+
+// recoverReplica brings replica ri back empty: pools and resources were
+// left clean by Crash, the pinned extract-thread hold is re-added, and
+// parked closed-loop clients resume.
+//
+//simlint:noalloc fault event path (crash/failover, PR 7 contract)
+func (e *engine) recoverReplica(ri int) {
+	if !e.repDown[ri] {
+		return
+	}
+	e.repDown[ri] = false
+	e.repDownCount--
+	e.reps[ri].cpu.AddHold(e.extractHold)
+	e.drainParked()
+}
+
+// applyLinkEvent applies a link transition to the target domain: the
+// shared backhaul (both directions) or one gateway's dedicated uplink
+// pair.
+//
+//simlint:noalloc fault event path (link schedules, PR 7 contract)
+func (e *engine) applyLinkEvent(ev *fault.Event) {
+	if ev.Target == fault.Backhaul {
+		for _, l := range e.net.backhaul {
+			e.transitionLink(l, ev)
+		}
+		return
+	}
+	own := e.net.own[ev.Target]
+	if own[0] != nil {
+		e.transitionLink(own[0], ev)
+	}
+	if own[1] != nil {
+		e.transitionLink(own[1], ev)
+	}
+}
+
+//simlint:noalloc fault event path (link schedules, PR 7 contract)
+func (e *engine) transitionLink(l *sim.Link, ev *fault.Event) {
+	switch ev.Kind {
+	case fault.LinkDown:
+		l.Reconfigure(-1, 0, 100)
+	case fault.LinkUp:
+		l.Restore()
+	case fault.LinkSet:
+		l.Reconfigure(ev.DelaySec, ev.RateBps, ev.LossPct)
+	}
+}
+
+// admit gates a request's arrival at its replica when faults are active:
+// a request bound for a dead replica is reassigned to a survivor (or
+// counted lost and, closed-loop, parked); admitted requests enter the
+// replica's in-flight set.
+//
+//simlint:noalloc fault bookkeeping on the request hot path (PR 7 contract)
+func (e *engine) admit(req *request) bool {
+	if e.repDown[req.repIdx] {
+		if e.repDownCount >= len(e.reps) {
+			e.cCrashFail++
+			e.freeReqs = append(e.freeReqs, req)
+			if !e.openLoop {
+				e.parked++
+			}
+			return false
+		}
+		e.reassign(req)
+	}
+	req.ifIdx = int32(len(req.rep.inflight))
+	req.rep.inflight = append(req.rep.inflight, req)
+	return true
+}
+
+// reassign points req at the next live replica in round-robin order.
+// Callers guarantee at least one replica is alive.
+//
+//simlint:noalloc fault event path (crash/failover, PR 7 contract)
+func (e *engine) reassign(req *request) {
+	n := len(e.reps)
+	idx := e.next % n
+	for e.repDown[idx] {
+		e.next++
+		idx = e.next % n
+	}
+	e.next++
+	req.rep = e.reps[idx]
+	req.repIdx = int32(idx)
+}
+
+// untrack removes req from its replica's in-flight set (swap-remove).
+//
+//simlint:noalloc fault bookkeeping on the request hot path (PR 7 contract)
+func (e *engine) untrack(req *request) {
+	if req.ifIdx < 0 {
+		return
+	}
+	rep := req.rep
+	last := len(rep.inflight) - 1
+	moved := rep.inflight[last]
+	rep.inflight[req.ifIdx] = moved
+	moved.ifIdx = req.ifIdx
+	rep.inflight[last] = nil
+	rep.inflight = rep.inflight[:last]
+	req.ifIdx = -1
+}
+
+// failGateway fails a request whose gateway departed while it was in
+// flight — the churn outcome with its own Metrics counter. The node
+// recycles immediately and a closed-loop client retries through the
+// (live-gateway) round-robin at once; requests on the up leg never
+// reached the replica, and requests on the down leg already left it, so
+// no replica resources are held at this point.
+//
+//simlint:noalloc fault event path (gateway churn, PR 7 contract)
+func (e *engine) failGateway(req *request) {
+	e.cGatewayFail++
+	e.freeReqs = append(e.freeReqs, req)
+	if !e.openLoop {
+		e.submit()
+	}
+}
+
+// submitFaulted is submit() under a fault schedule: the replica and
+// gateway round-robins skip dead targets; with nothing alive the arrival
+// is dropped (open loop) or the client parks until the next join or
+// recovery drains it.
+//
+//simlint:noalloc fault-aware request submission (PR 7 contract)
+func (e *engine) submitFaulted() {
+	n := len(e.reps)
+	if e.repDownCount >= n {
+		e.dropArrival()
+		return
+	}
+	idx := e.next % n
+	for e.repDown[idx] {
+		e.next++
+		idx = e.next % n
+	}
+	e.next++
+	if e.net != nil {
+		ng := len(e.net.paths)
+		if e.gwDownCount >= ng {
+			e.dropArrival()
+			return
+		}
+		g := e.nextGw % ng
+		for e.gwDown[g] {
+			e.nextGw++
+			g = e.nextGw % ng
+		}
+		e.nextGw++
+		req := e.newRequest(e.reps[idx])
+		req.repIdx = int32(idx)
+		if req.netUp == nil {
+			req.bindNet()
+		}
+		req.path = &e.net.paths[g]
+		req.gw = int32(g)
+		req.hop = 0
+		req.netUp()
+		return
+	}
+	req := e.newRequest(e.reps[idx])
+	req.repIdx = int32(idx)
+	e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
+}
+
+// dropArrival records an arrival that found no live capacity.
+//
+//simlint:noalloc fault event path (PR 7 contract)
+func (e *engine) dropArrival() {
+	if e.openLoop {
+		e.cDropped++
+		return
+	}
+	e.parked++
+}
+
+// drainParked resubmits every parked closed-loop client once; clients
+// that still find no capacity re-park (the count is latched up front, so
+// a fruitless drain terminates).
+//
+//simlint:noalloc fault event path (PR 7 contract)
+func (e *engine) drainParked() {
+	n := e.parked
+	e.parked = 0
+	for i := 0; i < n; i++ {
+		e.submit()
+	}
+}

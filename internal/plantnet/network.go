@@ -34,6 +34,12 @@ type NetworkModel struct {
 	// engine->device order. Zero specs are elided when links are built.
 	BackhaulUp   []netem.LinkSpec
 	BackhaulDown []netem.LinkSpec
+	// Packet switches every link to packetized TCP-like transport
+	// (per-packet loss + AIMD congestion windows of MTUBytes packets)
+	// instead of whole-payload geometric resend — the "packet" network
+	// model. MTUBytes <= 0 selects the 1500-byte default.
+	Packet   bool
+	MTUBytes float64
 }
 
 // NetworkClass is a homogeneous group of gateways sharing an uplink
@@ -68,10 +74,13 @@ type gatewayPath struct {
 
 // netState is the instantiated network of one run: every built link (for
 // reset and stat aggregation) plus the per-gateway paths requests cycle
-// through.
+// through. For fault targeting it also records each gateway's OWN uplink
+// pair (excluding backhaul aliases) and the shared backhaul links.
 type netState struct {
 	links              []*sim.Link
 	paths              []gatewayPath
+	own                [][2]*sim.Link // per gateway: dedicated up/down links (nil when the class has none)
+	backhaul           []*sim.Link    // shared backhaul links, both directions
 	upBytes, downBytes float64
 }
 
@@ -82,6 +91,9 @@ func buildNetState(se *sim.Engine, nm *NetworkModel, rng *rand.Rand) *netState {
 	ns := &netState{upBytes: nm.UploadBytes, downBytes: nm.ResponseBytes}
 	build := func(spec netem.LinkSpec) *sim.Link {
 		l := spec.Build(se, rng)
+		if nm.Packet {
+			l.EnablePacket(nm.MTUBytes)
+		}
 		ns.links = append(ns.links, l)
 		return l
 	}
@@ -96,17 +108,22 @@ func buildNetState(se *sim.Engine, nm *NetworkModel, rng *rand.Rand) *netState {
 			backDown = append(backDown, build(spec))
 		}
 	}
+	ns.backhaul = append(append([]*sim.Link(nil), backUp...), backDown...)
 	for _, c := range nm.Classes {
 		for g := 0; g < c.Gateways; g++ {
 			var up, down []*sim.Link
+			var pair [2]*sim.Link
 			if !c.Up.IsZero() {
-				up = append(up, build(c.Up))
+				pair[0] = build(c.Up)
+				up = append(up, pair[0])
 			}
 			up = append(up, backUp...)
 			down = append(down, backDown...)
 			if !c.Down.IsZero() {
-				down = append(down, build(c.Down))
+				pair[1] = build(c.Down)
+				down = append(down, pair[1])
 			}
+			ns.own = append(ns.own, pair)
 			ns.paths = append(ns.paths, gatewayPath{up: up, down: down})
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"e2clab/internal/config"
+	"e2clab/internal/fault"
 )
 
 // BenchmarkSuite tracks the cost of a full standard-suite campaign at a
@@ -30,6 +31,50 @@ func BenchmarkNetworkPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sc.Run(42, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFaultedCampaign tracks a FaultSweep campaign through the event
+// kernel: the same base scenario under no faults, gateway churn, and
+// churn + replica crash. It prices the fault-injection hot paths (timer
+// cancellation on crash, in-flight reassignment on churn, link restores)
+// on top of the simulated-network transport.
+func BenchmarkFaultedCampaign(b *testing.B) {
+	base := Scenario{
+		Name:         "bench-chaos",
+		NetworkModel: "simulated",
+		Replicas:     2,
+		Gateways: []GatewayClass{
+			{Name: "fiber", Count: 16, DelayMS: 2, RateGbps: 10},
+			{Name: "lte", Count: 4, DelayMS: 45, RateGbps: 0.05},
+		},
+		DurationSeconds: 120,
+	}
+	s := Suite{
+		Name: "bench-fault-sweep", Seed: 42, DurationSeconds: 120,
+		Scenarios: FaultSweep(base, []FaultProfile{
+			{Name: "none", Spec: nil},
+			{Name: "churn", Spec: &fault.Spec{
+				GatewayChurn: &fault.Churn{MeanUpSeconds: 40, MeanDownSeconds: 10},
+			}},
+			{Name: "churn-crash", Spec: &fault.Spec{
+				GatewayChurn:   &fault.Churn{MeanUpSeconds: 40, MeanDownSeconds: 10},
+				ReplicaCrashes: []fault.Crash{{Replica: 1, AtSeconds: 50, RecoverAfterSeconds: 25}},
+				LinkFlaps:      []fault.Flap{{Gateway: 0, FirstAtSeconds: 20, DownSeconds: 6, PeriodSeconds: 45}},
+			}},
+		}),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr, err := RunSuite(s, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range sr.Errs {
+			if e != nil {
+				b.Fatalf("scenario %d: %v", j, e)
+			}
 		}
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"e2clab/internal/config"
+	"e2clab/internal/fault"
+	"e2clab/internal/workload"
 )
 
 // Generators expand one base scenario into a parameterized family — the
@@ -117,10 +119,70 @@ func ShapeSweep(base Scenario, shapes []Shape) []Scenario {
 	return out
 }
 
-// clone deep-copies the slices a generator mutates.
+// FaultProfile is a named fault schedule — the unit of the robustness
+// axis ("how does the deployment degrade under churn, crashes, and link
+// failures?").
+type FaultProfile struct {
+	Name string      `json:"name"`
+	Spec *fault.Spec `json:"spec"`
+}
+
+// FaultSweep applies each fault profile to the base scenario, replacing
+// any schedule the base carries. Names get a "-<profile>" suffix; specs
+// are deep-copied so profiles stay independent across the family.
+func FaultSweep(base Scenario, profiles []FaultProfile) []Scenario {
+	out := make([]Scenario, 0, len(profiles))
+	for _, p := range profiles {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, p.Name)
+		if p.Spec != nil {
+			spec := p.Spec.Clone()
+			s.Faults = &spec
+		} else {
+			s.Faults = nil
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// NamedTrace is a recorded workload trace with a display name.
+type NamedTrace struct {
+	Name  string          `json:"name"`
+	Trace *workload.Trace `json:"trace"`
+}
+
+// TraceSweep drives the base scenario with each recorded trace (the
+// trace-driven-load axis). Names get a "-<trace>" suffix; the workload
+// shape is replaced wholesale with the trace's continuous form.
+func TraceSweep(base Scenario, traces []NamedTrace) []Scenario {
+	out := make([]Scenario, 0, len(traces))
+	for _, nt := range traces {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, nt.Name)
+		var tr *workload.Trace
+		if nt.Trace != nil {
+			c := nt.Trace.Clone()
+			tr = &c
+		}
+		s.Workload = Shape{Kind: "trace", Trace: tr}
+		out = append(out, s)
+	}
+	return out
+}
+
+// clone deep-copies the slices and pointers a generator mutates.
 func clone(s Scenario) Scenario {
 	s.Gateways = append([]GatewayClass(nil), s.Gateways...)
 	s.Degradation = append([]config.NetworkRule(nil), s.Degradation...)
+	if s.Faults != nil {
+		spec := s.Faults.Clone()
+		s.Faults = &spec
+	}
+	if s.Workload.Trace != nil {
+		tr := s.Workload.Trace.Clone()
+		s.Workload.Trace = &tr
+	}
 	return s
 }
 

@@ -2,7 +2,9 @@ package scenario
 
 import (
 	"e2clab/internal/config"
+	"e2clab/internal/fault"
 	"e2clab/internal/plantnet"
+	"e2clab/internal/workload"
 )
 
 // PaperScenario is the paper's 42-node Section IV deployment as a
@@ -22,8 +24,9 @@ func PaperScenario() Scenario {
 
 // StandardSuite is the built-in campaign `experiments suite` runs: the
 // paper's deployment plus topology, degradation, simulated-network,
-// heterogeneity, placement, and workload-shape variations of it — nine
-// ready-made edge-to-cloud scenarios.
+// heterogeneity, placement, workload-shape, fault-injection, packet-
+// transport, and trace-driven variations of it — thirteen ready-made
+// edge-to-cloud scenarios.
 func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	base := PaperScenario()
 
@@ -76,6 +79,40 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 		{Kind: "diurnal"},
 	})
 
+	// Robustness axis: the paper deployment on the simulated network under
+	// escalating fault schedules — occasional gateway churn versus churn
+	// plus a replica crash and a flapping uplink.
+	chaosBase := clone(base)
+	chaosBase.Name = "chaos"
+	chaosBase.NetworkModel = "simulated"
+	chaos := FaultSweep(chaosBase, []FaultProfile{
+		{Name: "light", Spec: &fault.Spec{
+			GatewayChurn: &fault.Churn{MeanUpSeconds: 120, MeanDownSeconds: 15, Gateways: 8},
+		}},
+		{Name: "heavy", Spec: &fault.Spec{
+			GatewayChurn:   &fault.Churn{MeanUpSeconds: 45, MeanDownSeconds: 20},
+			ReplicaCrashes: []fault.Crash{{Replica: 1, AtSeconds: 30, RecoverAfterSeconds: 20}},
+			LinkFlaps:      []fault.Flap{{Gateway: 0, FirstAtSeconds: 15, DownSeconds: 5, PeriodSeconds: 40}},
+		}},
+	})
+
+	// The lossy uplink again under packetized TCP-like transport: per-packet
+	// loss and congestion backoff instead of whole-payload resend.
+	packet := clone(base)
+	packet.Name = "lossy-uplink-packet"
+	packet.NetworkModel = "packet"
+	packet.Degradation = []config.NetworkRule{
+		{Src: "edge", Dst: "fog", DelayMS: 30, LossPct: 5, Symmetric: true},
+	}
+
+	// Trace-driven load: a recorded spring-day surge replayed open-loop.
+	traces := TraceSweep(base, []NamedTrace{
+		{Name: "spring-surge", Trace: &workload.Trace{
+			BinSeconds: 30,
+			Counts:     []float64{150, 300, 600, 450, 240, 120},
+		}},
+	})
+
 	var scenarios []Scenario
 	scenarios = append(scenarios, sweep...)
 	scenarios = append(scenarios, degraded...)
@@ -83,6 +120,9 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	scenarios = append(scenarios, hetero...)
 	scenarios = append(scenarios, fog)
 	scenarios = append(scenarios, shapes...)
+	scenarios = append(scenarios, chaos...)
+	scenarios = append(scenarios, packet)
+	scenarios = append(scenarios, traces...)
 
 	return Suite{
 		Name:            "plantnet-continuum",

@@ -27,6 +27,7 @@ import (
 	"math"
 
 	"e2clab/internal/config"
+	"e2clab/internal/fault"
 	"e2clab/internal/netem"
 	"e2clab/internal/plantnet"
 	"e2clab/internal/rngutil"
@@ -62,9 +63,11 @@ type Scenario struct {
 	// while "simulated" folds the path into the discrete-event kernel —
 	// every request crosses per-gateway uplink and shared backhaul
 	// sim.Links, so queueing at the gateways and loss-driven
-	// retransmission interact with load. The resolved value is part of the
-	// suite checkpoint fingerprint: resumed campaigns cannot silently mix
-	// models.
+	// retransmission interact with load. "packet" is the simulated model
+	// with packetized TCP-like transport on every link: per-packet loss
+	// draws and multiplicative congestion backoff instead of whole-payload
+	// geometric resend. The resolved value is part of the suite checkpoint
+	// fingerprint: resumed campaigns cannot silently mix models.
 	NetworkModel string `json:"network_model,omitempty"`
 	// Replicas is the number of engine instances (paper: 2 chifflot nodes).
 	Replicas int `json:"replicas,omitempty"`
@@ -84,8 +87,16 @@ type Scenario struct {
 	Degradation []config.NetworkRule `json:"degradation,omitempty"`
 
 	// Workload shapes the client population over the experiment (constant,
-	// bursty, diurnal). Zero value means constant.
+	// bursty, diurnal, trace). Zero value means constant.
 	Workload Shape `json:"workload,omitempty"`
+
+	// Faults is the deterministic fault schedule injected into every engine
+	// run of the scenario (fault times are relative to each run's own
+	// t=0, so a phased workload replays the schedule per phase). Gateway
+	// churn and link faults require a simulated network model. The schedule
+	// is part of the JSON spec and therefore of the suite checkpoint
+	// fingerprint: changing it invalidates resume for the scenario.
+	Faults *fault.Spec `json:"faults,omitempty"`
 
 	// UploadBytes / ResponseBytes size the request payloads crossing the
 	// network (defaults: 1.2 MB photo up, 50 KB identification down).
@@ -147,8 +158,8 @@ func (s Scenario) Validate() error {
 	if d.EngineLayer != "cloud" && d.EngineLayer != "fog" {
 		return fmt.Errorf("scenario %q: engine_layer must be cloud or fog, got %q", s.Name, s.EngineLayer)
 	}
-	if d.NetworkModel != "" && d.NetworkModel != "simulated" {
-		return fmt.Errorf("scenario %q: network_model must be analytical or simulated, got %q", s.Name, s.NetworkModel)
+	if d.NetworkModel != "" && d.NetworkModel != "simulated" && d.NetworkModel != "packet" {
+		return fmt.Errorf("scenario %q: network_model must be analytical, simulated, or packet, got %q", s.Name, s.NetworkModel)
 	}
 	if len(d.Gateways) == 0 {
 		return fmt.Errorf("scenario %q: needs at least one gateway class", s.Name)
@@ -167,6 +178,9 @@ func (s Scenario) Validate() error {
 	if err := d.Workload.Validate(); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
+	if err := d.validateFaults(); err != nil {
+		return err
+	}
 	cfg, err := d.Deployment()
 	if err != nil {
 		return err
@@ -182,6 +196,51 @@ func (s Scenario) Validate() error {
 	for _, g := range d.Gateways {
 		if err := d.classNetwork(g).Validate(layers); err != nil {
 			return fmt.Errorf("scenario %q, class %q: %w", s.Name, g.Name, err)
+		}
+	}
+	return nil
+}
+
+// validateFaults cross-checks the fault schedule against the scenario's
+// lowered topology; d is already defaulted.
+func (d Scenario) validateFaults() error {
+	if d.Faults.IsZero() {
+		return nil
+	}
+	if err := d.Faults.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", d.Name, err)
+	}
+	netFaults := d.Faults.GatewayChurn != nil || len(d.Faults.LinkFlaps) > 0 ||
+		len(d.Faults.LinkSchedule) > 0
+	if netFaults && d.NetworkModel != "simulated" && d.NetworkModel != "packet" {
+		return fmt.Errorf("scenario %q: gateway churn and link faults need network_model simulated or packet", d.Name)
+	}
+	for _, cr := range d.Faults.ReplicaCrashes {
+		if cr.Replica >= d.Replicas {
+			return fmt.Errorf("scenario %q: fault crashes replica %d of %d", d.Name, cr.Replica, d.Replicas)
+		}
+	}
+	total := d.TotalGateways()
+	checkTarget := func(g int, what string) error {
+		if g == fault.Backhaul {
+			if d.EngineLayer == "fog" {
+				return fmt.Errorf("scenario %q: %s targets the backhaul, but a fog placement has none", d.Name, what)
+			}
+			return nil
+		}
+		if g >= total {
+			return fmt.Errorf("scenario %q: %s targets gateway %d of %d", d.Name, what, g, total)
+		}
+		return nil
+	}
+	for _, f := range d.Faults.LinkFlaps {
+		if err := checkTarget(f.Gateway, "link flap"); err != nil {
+			return err
+		}
+	}
+	for _, tr := range d.Faults.LinkSchedule {
+		if err := checkTarget(tr.Gateway, "link transition"); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -267,13 +326,24 @@ func (s Scenario) Deployment() (*config.Scenario, error) {
 		Layers: layers, Network: rules}, nil
 }
 
-// networkModelName is the resolved, explicit model name ("analytical" or
-// "simulated") — what tables, archives, and resumed Results report.
+// networkModelName is the resolved, explicit model name ("analytical",
+// "simulated", or "packet") — what tables, archives, and resumed Results
+// report.
 func (s Scenario) networkModelName() string {
-	if s.withDefaults().NetworkModel == "simulated" {
+	switch s.withDefaults().NetworkModel {
+	case "simulated":
 		return "simulated"
+	case "packet":
+		return "packet"
 	}
 	return "analytical"
+}
+
+// simulatesNetwork reports whether the resolved model folds the request
+// path into the event kernel ("simulated" or "packet").
+func (s Scenario) simulatesNetwork() bool {
+	m := s.withDefaults().NetworkModel
+	return m == "simulated" || m == "packet"
 }
 
 // toNetemRules converts config-form rules to the netem form.
@@ -320,6 +390,9 @@ func (s Scenario) networkModel() *plantnet.NetworkModel {
 		deg := netem.New(toNetemRules(d.Degradation)...)
 		m.BackhaulUp = []netem.LinkSpec{deg.Lower("fog", "cloud")}
 		m.BackhaulDown = []netem.LinkSpec{deg.Lower("cloud", "fog")}
+	}
+	if d.NetworkModel == "packet" {
+		m.Packet = true
 	}
 	return m
 }
@@ -380,6 +453,14 @@ type Result struct {
 	// Throughput is the duration-weighted completions/s.
 	Throughput float64 `json:"throughput"`
 	Completed  int     `json:"completed"`
+
+	// Fault outcome counters, aggregated across phases and repeats; all
+	// zero when the scenario injects no faults. See plantnet.Metrics for
+	// the taxonomy.
+	FaultGatewayFailures int `json:"fault_gateway_failures,omitempty"`
+	FaultCrashRequeues   int `json:"fault_crash_requeues,omitempty"`
+	FaultCrashFailures   int `json:"fault_crash_failures,omitempty"`
+	FaultDropped         int `json:"fault_dropped,omitempty"`
 }
 
 // Run executes the scenario: every workload phase (or, for a continuous
@@ -407,31 +488,50 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 		return nil, fmt.Errorf("scenario %q: unreachable — a gateway class's path composes to 100%% loss", d.Name)
 	}
 	var netmod *plantnet.NetworkModel
-	if d.NetworkModel == "simulated" {
+	if d.simulatesNetwork() {
 		netmod = d.networkModel()
 	}
 	phases := d.Workload.Expand(d.Clients(), d.DurationSeconds)
+	phaseCount := len(phases)
+	seeder := rngutil.NewSeeder(seed + 31)
+	runner := plantnet.NewRunner()
 	// One engine run per phase — or one continuous run when the shape
-	// carries queue state across its phase boundaries.
+	// carries queue state across its phase boundaries (or is a trace).
 	type phaseRun struct {
 		clients  int
 		arrivals *workload.PiecewiseRate
 		duration float64
 	}
 	var runs []phaseRun
-	if d.Workload.Continuous {
-		runs = []phaseRun{{arrivals: d.Workload.rates(phases),
-			duration: d.DurationSeconds}}
+	if d.Workload.continuous() {
+		var pr *workload.PiecewiseRate
+		if d.Workload.kind() == "trace" {
+			pr = d.Workload.Trace.Rates()
+			phaseCount = len(d.Workload.Trace.Counts)
+		} else {
+			rpc := d.Workload.RatePerClient
+			if rpc <= 0 {
+				// Calibration draws its probe seed before the phase seeds,
+				// so explicit-rate and calibrated scenarios stay pure
+				// functions of (spec, seed).
+				cal, err := d.calibrateRate(runner, netmod, seeder.Next())
+				if err != nil {
+					return nil, fmt.Errorf("scenario %q: calibrating rate: %w", d.Name, err)
+				}
+				rpc = cal
+			}
+			pr = d.Workload.rates(phases, rpc)
+		}
+		runs = []phaseRun{{arrivals: pr, duration: d.DurationSeconds}}
 	} else {
 		for _, ph := range phases {
 			runs = append(runs, phaseRun{clients: ph.Clients, duration: ph.DurationSeconds})
 		}
 	}
-	seeder := rngutil.NewSeeder(seed + 31)
-	runner := plantnet.NewRunner()
 	var pooled stats.Welford
 	var thrSec, p95Sec, elapsed float64
 	completed := 0
+	var gwFail, crashReq, crashFail, dropped int64
 	for _, pr := range runs {
 		opts := plantnet.RunOptions{
 			Pools:          d.Pools,
@@ -439,6 +539,7 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 			Arrivals:       pr.arrivals,
 			Network:        netmod,
 			Replicas:       d.Replicas,
+			Faults:         d.Faults,
 			Duration:       pr.duration,
 			Warmup:         math.Min(60, pr.duration/5),
 			SampleInterval: math.Min(10, pr.duration/10),
@@ -457,6 +558,10 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 			}
 			p95Sec += m.RespP95 * pr.duration
 			completed += m.Completed
+			gwFail += m.GatewayFailures
+			crashReq += m.CrashRequeues
+			crashFail += m.CrashFailures
+			dropped += m.DroppedArrivals
 		}
 		thrSec += rep.Throughput * pr.duration
 		elapsed += pr.duration
@@ -474,16 +579,48 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 		respMean = engine.Mean
 	}
 	return &Result{
-		Name:           d.Name,
-		Gateways:       d.TotalGateways(),
-		Clients:        d.Clients(),
-		Phases:         len(phases),
-		NetModel:       d.networkModelName(),
-		EngineResp:     engine,
-		NetOverheadSec: overhead,
-		RespMean:       respMean,
-		RespP95:        p95Sec / (elapsed * float64(d.Repeats)),
-		Throughput:     thrSec / elapsed,
-		Completed:      completed,
+		Name:                 d.Name,
+		Gateways:             d.TotalGateways(),
+		Clients:              d.Clients(),
+		Phases:               phaseCount,
+		NetModel:             d.networkModelName(),
+		EngineResp:           engine,
+		NetOverheadSec:       overhead,
+		RespMean:             respMean,
+		RespP95:              p95Sec / (elapsed * float64(d.Repeats)),
+		Throughput:           thrSec / elapsed,
+		Completed:            completed,
+		FaultGatewayFailures: int(gwFail),
+		FaultCrashRequeues:   int(crashReq),
+		FaultCrashFailures:   int(crashFail),
+		FaultDropped:         int(dropped),
 	}, nil
+}
+
+// calibrateRate measures the per-client request rate this configuration
+// actually sustains: a short healthy closed-loop probe (same pools,
+// replicas, and network model; no faults) whose throughput divided by the
+// population becomes the continuous lowering's RatePerClient. The probe
+// runs on the scenario's own Runner and draws a dedicated seed, so the
+// calibrated rate — and everything downstream of it — is deterministic in
+// (spec, seed). Falls back to 0.35 req/s (the baseline engine's inverse
+// ~2.8 s cycle) if the probe completes nothing.
+func (d Scenario) calibrateRate(runner *plantnet.Runner, netmod *plantnet.NetworkModel, seed int64) (float64, error) {
+	probe := plantnet.RunOptions{
+		Pools:    d.Pools,
+		Clients:  d.Clients(),
+		Network:  netmod,
+		Replicas: d.Replicas,
+		Duration: 120,
+		Warmup:   30,
+		Seed:     seed,
+	}
+	m, err := runner.Run(probe)
+	if err != nil {
+		return 0, err
+	}
+	if m.Throughput <= 0 {
+		return 0.35, nil
+	}
+	return m.Throughput / float64(d.Clients()), nil
 }

@@ -18,8 +18,10 @@ import (
 // burst drains into the next phase exactly as it would in production.
 type Shape struct {
 	// Kind is "constant" (default), "bursty" (alternating off-peak/peak
-	// plateaus, the spring-identification-burst pattern of Figure 2), or
-	// "diurnal" (a sinusoidal day profile sampled into phases).
+	// plateaus, the spring-identification-burst pattern of Figure 2),
+	// "diurnal" (a sinusoidal day profile sampled into phases), or "trace"
+	// (a recorded arrival-count trace driven open-loop; requires Trace and
+	// is always continuous).
 	Kind string `json:"kind,omitempty"`
 	// Phases is the number of piecewise-constant phases the experiment
 	// duration is split into (defaults: constant 1, bursty 6, diurnal 8).
@@ -29,14 +31,20 @@ type Shape struct {
 	BaseFrac float64 `json:"base_frac,omitempty"`
 	// Continuous carries queue state across phase boundaries by lowering
 	// the shape to a single time-varying open-loop run instead of
-	// independent closed-loop phases.
+	// independent closed-loop phases. Trace shapes are continuous by
+	// definition.
 	Continuous bool `json:"continuous,omitempty"`
 	// RatePerClient converts phase populations to arrival rates for the
-	// continuous lowering, in req/s per client. The default 0.35 is the
-	// inverse of the baseline engine's ~2.8 s closed-loop request cycle,
-	// so a continuous shape presents roughly the demand its phased form
-	// would.
+	// continuous lowering, in req/s per client. Zero (the default)
+	// calibrates it per configuration: the scenario probes its own
+	// closed-loop throughput with a short healthy run and divides by the
+	// population, so the continuous form presents the demand its phased
+	// form actually sustains under THESE pools, replicas, and network —
+	// not a global constant.
 	RatePerClient float64 `json:"rate_per_client,omitempty"`
+	// Trace is the recorded workload for kind "trace": per-bin arrival
+	// counts lowered to a piecewise arrival-rate profile.
+	Trace *workload.Trace `json:"trace,omitempty"`
 }
 
 // Phase is one piecewise-constant segment of a shaped workload.
@@ -72,17 +80,27 @@ func (s Shape) baseFrac() float64 {
 	return 0.5
 }
 
-func (s Shape) ratePerClient() float64 {
-	if s.RatePerClient > 0 {
-		return s.RatePerClient
-	}
-	return 0.35
+// continuous reports whether the shape lowers to one open-loop run: set
+// explicitly, or implied by the trace kind (a recorded trace has no
+// phased closed-loop form).
+func (s Shape) continuous() bool {
+	return s.Continuous || s.kind() == "trace"
 }
 
 // Validate rejects unknown kinds and degenerate parameters.
 func (s Shape) Validate() error {
 	switch s.kind() {
 	case "constant", "bursty", "diurnal":
+		if s.Trace != nil {
+			return fmt.Errorf("workload shape: trace set but kind is %q, not trace", s.kind())
+		}
+	case "trace":
+		if s.Trace == nil {
+			return fmt.Errorf("workload shape: kind trace needs a trace")
+		}
+		if err := s.Trace.Validate(); err != nil {
+			return fmt.Errorf("workload shape: %w", err)
+		}
 	default:
 		return fmt.Errorf("workload shape: unknown kind %q", s.Kind)
 	}
@@ -100,11 +118,10 @@ func (s Shape) Validate() error {
 
 // rates lowers already-expanded phases to the piecewise arrival-rate
 // profile of the shape's continuous form: each phase's population times
-// RatePerClient. Taking the phases (instead of re-expanding) keeps the
-// Result's reported phase count and the profile driving the run derived
-// from one expansion.
-func (s Shape) rates(phases []Phase) *workload.PiecewiseRate {
-	rpc := s.ratePerClient()
+// rpc (the explicit or calibrated per-client rate). Taking the phases
+// (instead of re-expanding) keeps the Result's reported phase count and
+// the profile driving the run derived from one expansion.
+func (s Shape) rates(phases []Phase, rpc float64) *workload.PiecewiseRate {
 	pr := &workload.PiecewiseRate{Phases: make([]workload.RatePhase, len(phases))}
 	for i, ph := range phases {
 		pr.Phases[i] = workload.RatePhase{

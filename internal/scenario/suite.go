@@ -154,6 +154,8 @@ func encodeResult(r *Result) []tune.Report {
 		r.EngineResp.Min, r.EngineResp.Max,
 		r.NetOverheadSec, r.RespMean, r.RespP95, r.Throughput,
 		float64(r.Completed),
+		float64(r.FaultGatewayFailures), float64(r.FaultCrashRequeues),
+		float64(r.FaultCrashFailures), float64(r.FaultDropped),
 	}
 	out := make([]tune.Report, len(vals))
 	for i, v := range vals {
@@ -165,7 +167,7 @@ func encodeResult(r *Result) []tune.Report {
 // decodeResult rebuilds a Result from checkpoint reports; ok is false when
 // the reports do not carry the expected layout (stale checkpoint format).
 func decodeResult(index int, name string, reports []tune.Report) (*Result, bool) {
-	if len(reports) != 13 {
+	if len(reports) != 17 {
 		return nil, false
 	}
 	v := make([]float64, len(reports))
@@ -179,7 +181,9 @@ func decodeResult(index int, name string, reports []tune.Report) (*Result, bool)
 		Index: index, Name: name,
 		Gateways: int(v[0]), Clients: int(v[1]), Phases: int(v[2]),
 		NetOverheadSec: v[8], RespMean: v[9], RespP95: v[10], Throughput: v[11],
-		Completed: int(v[12]),
+		Completed:            int(v[12]),
+		FaultGatewayFailures: int(v[13]), FaultCrashRequeues: int(v[14]),
+		FaultCrashFailures: int(v[15]), FaultDropped: int(v[16]),
 	}
 	r.EngineResp.N = int(v[3])
 	r.EngineResp.Mean = v[4]

@@ -57,6 +57,8 @@ func bits(r *Result) []uint64 {
 		math.Float64bits(r.NetOverheadSec), math.Float64bits(r.RespMean),
 		math.Float64bits(r.RespP95), math.Float64bits(r.Throughput),
 		uint64(r.Completed),
+		uint64(r.FaultGatewayFailures), uint64(r.FaultCrashRequeues),
+		uint64(r.FaultCrashFailures), uint64(r.FaultDropped),
 	}
 }
 

@@ -44,5 +44,11 @@ func DetailTable(r *Result) *export.Table {
 	t.AddRow("throughput (req/s)", r.Throughput)
 	t.AddRow("completed requests", r.Completed)
 	t.AddRow("samples", r.EngineResp.N)
+	if r.FaultGatewayFailures+r.FaultCrashRequeues+r.FaultCrashFailures+r.FaultDropped > 0 {
+		t.AddRow("fault: gateway failures", r.FaultGatewayFailures)
+		t.AddRow("fault: crash requeues", r.FaultCrashRequeues)
+		t.AddRow("fault: crash failures", r.FaultCrashFailures)
+		t.AddRow("fault: dropped arrivals", r.FaultDropped)
+	}
 	return t
 }

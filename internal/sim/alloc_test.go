@@ -127,3 +127,65 @@ func TestZeroAllocPoolChurn(t *testing.T) {
 		e.Run(e.Now() + 100)
 	})
 }
+
+func TestZeroAllocLinkFlapChurn(t *testing.T) {
+	e := NewEngine()
+	rng := rand.New(rand.NewSource(2))
+	l := NewLink(e, 0.002, 1e7, 0, rng)
+	done := func() {}
+	// Warm the transfer freelist and the stall FIFO capacity.
+	for i := 0; i < 64; i++ {
+		l.Transfer(1e5, done)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "link flap churn", func() {
+		l.Reconfigure(-1, 0, 100) // down: new transfers park
+		for i := 0; i < 8; i++ {
+			l.Transfer(1e5, done)
+		}
+		l.Reconfigure(-1, 5e6, 0) // up at half rate: stalled queue drains
+		l.Restore()
+		e.Run(e.Now() + 100)
+	})
+}
+
+func TestZeroAllocPacketTransfer(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 0.003, 1e7, 10, rand.New(rand.NewSource(3)))
+	l.EnablePacket(1500)
+	done := func() {}
+	for i := 0; i < 64; i++ {
+		l.Transfer(1e5, done)
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "packet transfer churn", func() {
+		for i := 0; i < 8; i++ {
+			l.Transfer(1e5, done)
+		}
+		e.Run(e.Now() + 100)
+	})
+}
+
+func TestZeroAllocCrashChurn(t *testing.T) {
+	e := NewEngine()
+	cpu := NewCPU(e, 4)
+	p := NewPool(e, "x", 2)
+	done := func() {}
+	for i := 0; i < 16; i++ {
+		cpu.Add(1, 1, done)
+		p.Request(nopFn)
+		p.Crash()
+	}
+	e.Run(1e6)
+	requireZeroAllocs(t, "crash/recovery churn", func() {
+		for i := 0; i < 4; i++ {
+			cpu.Add(5, 1, done)
+			p.Request(nopFn) // slot held until the crash wipes it
+		}
+		cpu.AddHold(1.5)
+		e.Run(e.Now() + 0.1)
+		cpu.Crash()
+		p.Crash()
+		e.Run(e.Now() + 100)
+	})
+}

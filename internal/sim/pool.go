@@ -53,6 +53,23 @@ func (p *Pool) Reset(size int) {
 	p.grants, p.maxQueued = 0, 0
 }
 
+// Crash empties the pool mid-run: every held slot and queued waiter is
+// dropped without running (the owner re-drives the affected requests
+// elsewhere — the engine's replica-failover path), while the busy and
+// queue integrals, grant count, and queue high-water mark survive so
+// monitoring stays continuous across the outage. Unlike Reset, Crash is
+// safe mid-run: accounting is closed at the crash instant first.
+//
+//simlint:noalloc fault event path (crash/failover, PR 7 contract)
+func (p *Pool) Crash() {
+	p.account()
+	for i := range p.queue {
+		p.queue[i] = nil
+	}
+	p.queue, p.head = p.queue[:0], 0
+	p.busy = 0
+}
+
 // Size returns the number of slots (the thread-pool size).
 func (p *Pool) Size() int { return p.size }
 

@@ -270,6 +270,50 @@ func (s *SharedResource) Reset(maxRate float64, totalRate func(float64) float64)
 	}
 }
 
+// Sync prices elapsed time at the current rates and recomputes the next
+// completion event. Callers that change the rate environment out of band
+// (e.g. a Link rescaling its bandwidth pipe mid-run) bracket the change
+// with Sync: once before, so elapsed work is charged at the old rates, and
+// once after, so the pending completion reflects the new ones.
+//
+//simlint:noalloc fault/reconfiguration event path (PR 7 contract)
+func (s *SharedResource) Sync() {
+	s.advance()
+	s.reschedule()
+}
+
+// Crash drops every running job without firing its completion and clears
+// all persistent holds — the kernel primitive for failure injection: a
+// crashed resource loses its in-service work, while the utilization
+// integrals survive so monitors keep reporting across the outage. Elapsed
+// time is priced into the work integral WITHOUT firing completions (work
+// that was numerically due at the crash instant is lost with the rest),
+// so no stale continuation can run on the crashed resource. Dropped jobs
+// return to the freelist; outstanding Job handles become inert.
+//
+//simlint:noalloc fault event path (crash/failover, PR 7 contract)
+func (s *SharedResource) Crash() {
+	now := s.eng.Now()
+	if dt := now - s.lastT; dt > 0 {
+		if w := s.ActiveWeight(); w > 0 {
+			s.workInt += s.TotalRate(w) * dt
+		}
+		s.lastT = now
+	}
+	for _, j := range s.jobs {
+		s.releaseJob(j)
+	}
+	for i := range s.jobs {
+		s.jobs[i] = nil
+	}
+	s.jobs = s.jobs[:0]
+	s.jobWeight, s.holds = 0, 0
+	if s.hasNext {
+		s.nextEv.Cancel()
+		s.hasNext = false
+	}
+}
+
 // ActiveWeight returns the current total weight of running jobs plus holds.
 func (s *SharedResource) ActiveWeight() float64 {
 	return s.holds + s.jobWeight

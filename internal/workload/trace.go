@@ -1,0 +1,71 @@
+package workload
+
+import "fmt"
+
+// Trace is an empirical arrival log binned into fixed windows: Counts[i]
+// requests observed during the i-th BinSeconds window. It is the
+// trace-driven workload shape next to constant/bursty/diurnal — Rates
+// lowers it to a PiecewiseRate so a recorded production day replays
+// through the same open-loop Lewis-thinning path the synthetic shapes use,
+// backlog crossing bin boundaries intact.
+type Trace struct {
+	// BinSeconds is the width of each bin of the log.
+	BinSeconds float64 `json:"bin_seconds"`
+	// Counts are the observed request counts per bin.
+	Counts []float64 `json:"counts"`
+	// Scale multiplies the replayed rate (what-if amplification of the
+	// recorded load); 0 means 1.
+	Scale float64 `json:"scale,omitempty"`
+}
+
+// Validate rejects unusable traces.
+func (t *Trace) Validate() error {
+	if t == nil || len(t.Counts) == 0 {
+		return fmt.Errorf("workload: trace has no bins")
+	}
+	if t.BinSeconds <= 0 || t.BinSeconds != t.BinSeconds {
+		return fmt.Errorf("workload: trace bin width %v must be > 0", t.BinSeconds)
+	}
+	if t.Scale < 0 || t.Scale != t.Scale {
+		return fmt.Errorf("workload: trace scale %v must be >= 0", t.Scale)
+	}
+	any := false
+	for i, c := range t.Counts {
+		if c < 0 || c != c {
+			return fmt.Errorf("workload: trace bin %d has count %v", i, c)
+		}
+		if c > 0 {
+			any = true
+		}
+	}
+	if !any {
+		return fmt.Errorf("workload: trace is zero everywhere")
+	}
+	return nil
+}
+
+// Clone deep-copies the trace.
+func (t Trace) Clone() Trace {
+	c := t
+	c.Counts = append([]float64(nil), t.Counts...)
+	return c
+}
+
+// TotalDuration returns the length of the recorded log in seconds.
+func (t *Trace) TotalDuration() float64 {
+	return t.BinSeconds * float64(len(t.Counts))
+}
+
+// Rates lowers the trace to the piecewise-constant rate profile
+// λ_i = Scale * Counts[i] / BinSeconds, one phase per bin.
+func (t *Trace) Rates() *PiecewiseRate {
+	scale := t.Scale
+	if scale == 0 {
+		scale = 1
+	}
+	p := &PiecewiseRate{Phases: make([]RatePhase, len(t.Counts))}
+	for i, c := range t.Counts {
+		p.Phases[i] = RatePhase{Rate: scale * c / t.BinSeconds, DurationSeconds: t.BinSeconds}
+	}
+	return p
+}

@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceRates(t *testing.T) {
+	tr := Trace{BinSeconds: 30, Counts: []float64{60, 0, 150}}
+	p := tr.Rates()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("lowered profile invalid: %v", err)
+	}
+	want := []RatePhase{{2, 30}, {0, 30}, {5, 30}}
+	for i, ph := range p.Phases {
+		if math.Abs(ph.Rate-want[i].Rate) > 1e-12 || ph.DurationSeconds != want[i].DurationSeconds {
+			t.Errorf("phase %d = %+v, want %+v", i, ph, want[i])
+		}
+	}
+	if p.Max() != 5 || tr.TotalDuration() != 90 {
+		t.Errorf("Max = %v, TotalDuration = %v", p.Max(), tr.TotalDuration())
+	}
+}
+
+func TestTraceScale(t *testing.T) {
+	tr := Trace{BinSeconds: 10, Counts: []float64{40}, Scale: 2.5}
+	if r := tr.Rates().Phases[0].Rate; math.Abs(r-10) > 1e-12 {
+		t.Fatalf("scaled rate = %v, want 10", r)
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	bad := []Trace{
+		{},
+		{BinSeconds: 0, Counts: []float64{1}},
+		{BinSeconds: -5, Counts: []float64{1}},
+		{BinSeconds: 10, Counts: []float64{-1}},
+		{BinSeconds: 10, Counts: []float64{0, 0}},
+		{BinSeconds: 10, Counts: []float64{1}, Scale: -1},
+		{BinSeconds: math.NaN(), Counts: []float64{1}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+	good := Trace{BinSeconds: 10, Counts: []float64{0, 3, 1}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	var nilTrace *Trace
+	if err := nilTrace.Validate(); err == nil {
+		t.Error("nil trace accepted")
+	}
+}
+
+func TestTraceCloneIsolation(t *testing.T) {
+	orig := Trace{BinSeconds: 10, Counts: []float64{1, 2}}
+	c := orig.Clone()
+	c.Counts[0] = 99
+	if orig.Counts[0] != 1 {
+		t.Fatal("Clone shares the counts slice")
+	}
+}

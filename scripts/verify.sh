@@ -4,8 +4,9 @@
 # static-analysis gate machine-enforcing the determinism / RNG-discipline /
 # zero-alloc standing invariants), race-checks the packages with
 # goroutine-parallel paths (surrogate worker pool, bo batch scoring,
-# plantnet repeated-run pool — including the simulated-network link and
-# piecewise-arrival code it drives — scenario suite runner, tune's
+# plantnet repeated-run pool — including the simulated-network link,
+# fault-schedule, and piecewise-arrival code it drives — scenario suite
+# runner, tune's
 # concurrent trial executor, space transforms it exercises), and runs the
 # allocation-regression gate: the
 # kernel's steady-state zero-alloc contracts (sim/alloc_test.go) must hold,
@@ -20,7 +21,7 @@ go vet ./...
 # Static-analysis gate: exits 1 on any unsuppressed finding.
 go run ./cmd/simlint
 go test ./...
-go test -race ./internal/surrogate/... ./internal/bo/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/... ./internal/tune/... ./internal/space/...
+go test -race ./internal/surrogate/... ./internal/bo/... ./internal/fault/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/... ./internal/tune/... ./internal/space/...
 # Allocation-regression gate: -count=1 forces a real (uncached) run.
 go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
 echo "verify OK"
