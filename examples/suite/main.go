@@ -4,13 +4,16 @@
 // 42-node scenario of Section IV.
 //
 // The suite definition is declarative (suite.json next to this file):
-// nine ready-made scenarios covering a topology sweep (the Figure 2
+// twelve ready-made scenarios covering a topology sweep (the Figure 2
 // spring-peak question), a degraded fog-cloud backbone (in both network
 // models — the "-simnet" variant folds the congested backbone into the
 // event kernel, so its response time includes gateway queueing), a
 // heterogeneous fiber/LTE/satellite gateway mix, a fog engine placement,
-// and bursty/diurnal workload shapes (the "-continuous" variant carries
-// queue state across phase boundaries via a piecewise arrival rate). The
+// bursty/diurnal workload shapes (the "-continuous" variant carries
+// queue state across phase boundaries via a piecewise arrival rate), a
+// trace replay, and a churn/crash/flap chaos schedule run bare and under
+// a retry + failover resilience policy (the "-resilient" row adds the
+// availability and goodput the policy buys under identical faults). The
 // runner executes them on a bounded worker pool; for a fixed seed the
 // comparison table is bit-identical at every parallelism level, and the
 // checkpoint makes the campaign crash-safe: kill it mid-run, start it

@@ -73,6 +73,9 @@ type Crash struct {
 
 // Flap is a periodic down/up cycle on one gateway's uplink domain
 // (Gateway >= 0) or the shared backhaul (Gateway == Backhaul).
+// Overlapping down windows on the same target — within one flap or
+// across flaps — are merged at compile time into a single down/up pair,
+// so a link is never double-restored or left mis-priced.
 type Flap struct {
 	Gateway        int     `json:"gateway"`
 	FirstAtSeconds float64 `json:"first_at_seconds"`
@@ -267,21 +270,7 @@ func CompileInto(dst []Event, s *Spec, seed int64, horizonSeconds float64, gatew
 			ev = append(ev, Event{At: cr.AtSeconds + cr.RecoverAfterSeconds, Kind: ReplicaRecover, Target: cr.Replica})
 		}
 	}
-	for _, f := range s.LinkFlaps {
-		start, period := f.FirstAtSeconds, f.PeriodSeconds
-		for {
-			ev = append(ev,
-				Event{At: start, Kind: LinkDown, Target: f.Gateway},
-				Event{At: start + f.DownSeconds, Kind: LinkUp, Target: f.Gateway})
-			if period <= 0 {
-				break
-			}
-			start += period
-			if horizonSeconds > 0 && start >= horizonSeconds {
-				break
-			}
-		}
-	}
+	ev = compileFlaps(ev, s.LinkFlaps, horizonSeconds)
 	for _, tr := range s.LinkSchedule {
 		ev = append(ev, Event{
 			At: tr.AtSeconds, Kind: LinkSet, Target: tr.Gateway,
@@ -292,6 +281,166 @@ func CompileInto(dst []Event, s *Spec, seed int64, horizonSeconds float64, gatew
 	}
 	sort.SliceStable(ev, func(i, j int) bool { return ev[i].At < ev[j].At })
 	return ev
+}
+
+// compileFlaps expands every flap entry's periodic down-windows, then
+// merges overlapping or touching windows per target before emitting
+// Down/Up pairs. Without the merge, two flap schedules on one link
+// domain double-restore: the first Up landing inside the other flap's
+// down-window brings the link back early, and the second Up then
+// "restores" an already-restored link — leaving any interleaved LinkSet
+// re-pricing wrong. Targets emit in first-appearance spec order and
+// windows in time order, so for non-overlapping specs the emitted events
+// are identical to the historical per-entry expansion.
+func compileFlaps(ev []Event, flaps []Flap, horizonSeconds float64) []Event {
+	if len(flaps) == 0 {
+		return ev
+	}
+	type window struct{ s, e float64 }
+	var targets []int
+	var perTarget [][]window
+	for _, f := range flaps {
+		ti := -1
+		for i, t := range targets {
+			if t == f.Gateway {
+				ti = i
+				break
+			}
+		}
+		if ti < 0 {
+			targets = append(targets, f.Gateway)
+			perTarget = append(perTarget, nil)
+			ti = len(targets) - 1
+		}
+		start, period := f.FirstAtSeconds, f.PeriodSeconds
+		for {
+			perTarget[ti] = append(perTarget[ti], window{start, start + f.DownSeconds})
+			if period <= 0 {
+				break
+			}
+			start += period
+			if horizonSeconds > 0 && start >= horizonSeconds {
+				break
+			}
+		}
+	}
+	for i, t := range targets {
+		ws := perTarget[i]
+		sort.SliceStable(ws, func(a, b int) bool { return ws[a].s < ws[b].s })
+		cur := ws[0]
+		for _, w := range ws[1:] {
+			if w.s <= cur.e {
+				if w.e > cur.e {
+					cur.e = w.e
+				}
+				continue
+			}
+			ev = append(ev,
+				Event{At: cur.s, Kind: LinkDown, Target: t},
+				Event{At: cur.e, Kind: LinkUp, Target: t})
+			cur = w
+		}
+		ev = append(ev,
+			Event{At: cur.s, Kind: LinkDown, Target: t},
+			Event{At: cur.e, Kind: LinkUp, Target: t})
+	}
+	return ev
+}
+
+// Windows slices one compiled wall-clock timeline into consecutive
+// per-phase windows, so a phased workload lowers a SINGLE fault timeline
+// continuously across its phase boundaries instead of replaying the
+// schedule from each phase's t=0. Window i covers wall-clock
+// [sum(durations[:i]), sum(durations[:i+1])), with event times shifted
+// to be window-relative. State that persists across a boundary — a
+// departed gateway, a crashed replica, a downed link, and every netem
+// re-pricing applied so far — is synthesized as t=0 head events of the
+// next window (LinkSet replays in original order so restore targets
+// compose, then LinkDown/GatewayLeave/ReplicaCrash in ascending target
+// order), which is sound because each phase starts on a fresh engine.
+// The final window also receives any events at or beyond the horizon
+// (they never fire, matching single-run compilation). Every returned
+// window is non-nil, and windows stay time-sorted so the runner's cursor
+// dispatch applies unchanged.
+func Windows(timeline []Event, durations []float64) [][]Event {
+	out := make([][]Event, len(durations))
+	maxGw, maxRep, maxLink := -1, -1, -1
+	for _, ev := range timeline {
+		switch ev.Kind {
+		case GatewayLeave, GatewayJoin:
+			if ev.Target > maxGw {
+				maxGw = ev.Target
+			}
+		case ReplicaCrash, ReplicaRecover:
+			if ev.Target > maxRep {
+				maxRep = ev.Target
+			}
+		case LinkDown, LinkUp:
+			if ev.Target > maxLink {
+				maxLink = ev.Target
+			}
+		}
+	}
+	gwDown := make([]bool, maxGw+1)
+	repDown := make([]bool, maxRep+1)
+	repDelay := make([]float64, maxRep+1)
+	linkDown := make([]bool, maxLink+2) // indexed Target+1 so Backhaul (-1) is slot 0
+	var sets []Event
+	offset, i := 0.0, 0
+	for w, dur := range durations {
+		win := make([]Event, 0, 4)
+		if w > 0 {
+			for _, s := range sets {
+				s.At = 0
+				win = append(win, s)
+			}
+			for t := range linkDown {
+				if linkDown[t] {
+					win = append(win, Event{Kind: LinkDown, Target: t - 1})
+				}
+			}
+			for g := range gwDown {
+				if gwDown[g] {
+					win = append(win, Event{Kind: GatewayLeave, Target: g})
+				}
+			}
+			for r := range repDown {
+				if repDown[r] {
+					win = append(win, Event{Kind: ReplicaCrash, Target: r, RequeueDelaySec: repDelay[r]})
+				}
+			}
+		}
+		end := offset + dur
+		last := w == len(durations)-1
+		for ; i < len(timeline); i++ {
+			ev := timeline[i]
+			if !last && ev.At >= end {
+				break
+			}
+			switch ev.Kind {
+			case GatewayLeave:
+				gwDown[ev.Target] = true
+			case GatewayJoin:
+				gwDown[ev.Target] = false
+			case ReplicaCrash:
+				repDown[ev.Target] = true
+				repDelay[ev.Target] = ev.RequeueDelaySec
+			case ReplicaRecover:
+				repDown[ev.Target] = false
+			case LinkDown:
+				linkDown[ev.Target+1] = true
+			case LinkUp:
+				linkDown[ev.Target+1] = false
+			case LinkSet:
+				sets = append(sets, ev)
+			}
+			ev.At -= offset
+			win = append(win, ev)
+		}
+		out[w] = win
+		offset = end
+	}
+	return out
 }
 
 // lowerDelay converts a Transition delay (ms, negative = keep) to

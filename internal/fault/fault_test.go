@@ -175,3 +175,155 @@ func TestCloneIsolation(t *testing.T) {
 		t.Fatal("Clone shares state with the original")
 	}
 }
+
+// Two flap schedules overlapping on one target used to double-restore:
+// the first Up landing inside the other's down-window restored the link
+// early. Compile now merges overlapping (and touching) windows.
+func TestFlapOverlapMerged(t *testing.T) {
+	spec := &Spec{LinkFlaps: []Flap{
+		{Gateway: 1, FirstAtSeconds: 10, DownSeconds: 8},
+		{Gateway: 1, FirstAtSeconds: 14, DownSeconds: 10},
+	}}
+	ev := Compile(spec, 1, 100, 2)
+	want := []Event{
+		{At: 10, Kind: LinkDown, Target: 1},
+		{At: 24, Kind: LinkUp, Target: 1},
+	}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("overlap merge = %+v, want %+v", ev, want)
+	}
+
+	// Touching windows merge too (no same-instant Up/Down churn).
+	spec = &Spec{LinkFlaps: []Flap{
+		{Gateway: 0, FirstAtSeconds: 5, DownSeconds: 5},
+		{Gateway: 0, FirstAtSeconds: 10, DownSeconds: 5},
+	}}
+	ev = Compile(spec, 1, 100, 1)
+	want = []Event{
+		{At: 5, Kind: LinkDown, Target: 0},
+		{At: 15, Kind: LinkUp, Target: 0},
+	}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("touch merge = %+v, want %+v", ev, want)
+	}
+
+	// Periodic flaps interleaving across entries merge per cycle, and the
+	// down/up alternation stays strict.
+	spec = &Spec{LinkFlaps: []Flap{
+		{Gateway: 0, FirstAtSeconds: 0, DownSeconds: 6, PeriodSeconds: 20},
+		{Gateway: 0, FirstAtSeconds: 4, DownSeconds: 6, PeriodSeconds: 20},
+	}}
+	ev = Compile(spec, 1, 50, 1)
+	down := false
+	for i, e := range ev {
+		switch e.Kind {
+		case LinkDown:
+			if down {
+				t.Fatalf("event %d: double down at %g", i, e.At)
+			}
+			down = true
+		case LinkUp:
+			if !down {
+				t.Fatalf("event %d: up while up at %g", i, e.At)
+			}
+			down = false
+		}
+	}
+	if len(ev) != 6 { // cycles [0,10), [20,30), [40,50): one merged pair each
+		t.Fatalf("got %d events, want 6: %+v", len(ev), ev)
+	}
+
+	// Distinct targets keep the historical per-entry expansion.
+	spec = &Spec{LinkFlaps: []Flap{
+		{Gateway: 0, FirstAtSeconds: 10, DownSeconds: 4},
+		{Gateway: 1, FirstAtSeconds: 11, DownSeconds: 4},
+	}}
+	ev = Compile(spec, 1, 100, 2)
+	want = []Event{
+		{At: 10, Kind: LinkDown, Target: 0},
+		{At: 11, Kind: LinkDown, Target: 1},
+		{At: 14, Kind: LinkUp, Target: 0},
+		{At: 15, Kind: LinkUp, Target: 1},
+	}
+	if !reflect.DeepEqual(ev, want) {
+		t.Fatalf("distinct targets = %+v, want %+v", ev, want)
+	}
+}
+
+func TestWindowsSlicesAndShifts(t *testing.T) {
+	tl := []Event{
+		{At: 5, Kind: GatewayLeave, Target: 2},
+		{At: 8, Kind: LinkSet, Target: Backhaul, DelaySec: 0.05, RateBps: 1e9, LossPct: -1},
+		{At: 12, Kind: ReplicaCrash, Target: 1, RequeueDelaySec: 0.5},
+		{At: 15, Kind: GatewayJoin, Target: 2},
+		{At: 23, Kind: ReplicaRecover, Target: 1},
+	}
+	wins := Windows(tl, []float64{10, 10, 10})
+	if len(wins) != 3 {
+		t.Fatalf("got %d windows", len(wins))
+	}
+	// Window 0: the first two events, unshifted.
+	if !reflect.DeepEqual(wins[0], tl[:2]) {
+		t.Fatalf("window 0 = %+v", wins[0])
+	}
+	// Window 1 head: carried state — the LinkSet replay, then the departed
+	// gateway — followed by the in-window events shifted by -10.
+	want1 := []Event{
+		{At: 0, Kind: LinkSet, Target: Backhaul, DelaySec: 0.05, RateBps: 1e9, LossPct: -1},
+		{At: 0, Kind: GatewayLeave, Target: 2},
+		{At: 2, Kind: ReplicaCrash, Target: 1, RequeueDelaySec: 0.5},
+		{At: 5, Kind: GatewayJoin, Target: 2},
+	}
+	if !reflect.DeepEqual(wins[1], want1) {
+		t.Fatalf("window 1 = %+v, want %+v", wins[1], want1)
+	}
+	// Window 2 head: the LinkSet replay and the still-crashed replica
+	// (with its original requeue delay); the recovery shifts to t=3.
+	want2 := []Event{
+		{At: 0, Kind: LinkSet, Target: Backhaul, DelaySec: 0.05, RateBps: 1e9, LossPct: -1},
+		{At: 0, Kind: ReplicaCrash, Target: 1, RequeueDelaySec: 0.5},
+		{At: 3, Kind: ReplicaRecover, Target: 1},
+	}
+	if !reflect.DeepEqual(wins[2], want2) {
+		t.Fatalf("window 2 = %+v, want %+v", wins[2], want2)
+	}
+}
+
+func TestWindowsEdges(t *testing.T) {
+	// A boundary event (At == phase end) belongs to the NEXT window at
+	// t=0, after the synthesized head; the last window keeps events at or
+	// beyond the horizon (they never fire, matching single-run compiles).
+	tl := []Event{
+		{At: 10, Kind: LinkDown, Target: 0},
+		{At: 25, Kind: LinkUp, Target: 0},
+	}
+	wins := Windows(tl, []float64{10, 10})
+	if len(wins[0]) != 0 {
+		t.Fatalf("window 0 = %+v, want empty", wins[0])
+	}
+	if wins[0] == nil || wins[1] == nil {
+		t.Fatal("windows must be non-nil so the runner treats them as explicit timelines")
+	}
+	want := []Event{
+		{At: 0, Kind: LinkDown, Target: 0},
+		{At: 15, Kind: LinkUp, Target: 0},
+	}
+	if !reflect.DeepEqual(wins[1], want) {
+		t.Fatalf("window 1 = %+v, want %+v", wins[1], want)
+	}
+	// Empty timeline: every window is empty but non-nil.
+	for i, w := range Windows(nil, []float64{5, 5}) {
+		if w == nil || len(w) != 0 {
+			t.Fatalf("empty-timeline window %d = %+v", i, w)
+		}
+	}
+	// Windows stay time-sorted (the cursor-dispatch invariant).
+	big := Compile(churnSpec(), 42, 300, 4)
+	for _, w := range Windows(big, []float64{70, 90, 140}) {
+		for i := 1; i < len(w); i++ {
+			if w[i-1].At > w[i].At {
+				t.Fatalf("window unsorted at %d: %g > %g", i, w[i-1].At, w[i].At)
+			}
+		}
+	}
+}

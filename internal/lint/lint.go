@@ -89,6 +89,7 @@ var KnownChecks = map[string]bool{
 var DeterministicPackages = []string{
 	"e2clab/internal/sim",
 	"e2clab/internal/fault",
+	"e2clab/internal/resilience",
 	"e2clab/internal/plantnet",
 	"e2clab/internal/scenario",
 	"e2clab/internal/surrogate",

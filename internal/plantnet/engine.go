@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"e2clab/internal/fault"
+	"e2clab/internal/resilience"
 	"e2clab/internal/rngutil"
 	"e2clab/internal/sim"
 	"e2clab/internal/stats"
@@ -62,6 +63,22 @@ type RunOptions struct {
 	// failover delays) draw from their own streams derived from Seed, so
 	// a non-faulted run consumes exactly the same RNG it always did.
 	Faults *fault.Spec
+	// FaultTimeline, when non-nil, bypasses the per-run compile and
+	// schedules these pre-compiled events verbatim (times relative to
+	// this run's t=0). scenario.Run uses it to lower ONE wall-clock fault
+	// timeline continuously across the phases of a phased workload
+	// (fault.Windows); tests use it to pin exact event times. An empty
+	// non-nil slice is a valid window with no events.
+	FaultTimeline []fault.Event
+	// Resilience, when non-nil and non-zero, compiles the policy into
+	// pre-bound event-kernel hooks at setup: per-attempt timeouts,
+	// seeded-jitter retries, hedged requests, per-replica circuit
+	// breakers, gateway failover and queue-depth shedding. All policy
+	// randomness comes from per-request substreams derived from Seed
+	// (internal/resilience), never from the engine streams — a policied
+	// run sees the exact fault timeline the unpolicied run does, and a
+	// policy-free run consumes zero extra randomness.
+	Resilience *resilience.Policy
 	// MaxParallel bounds the worker pool RunRepeated uses to execute its
 	// independent seeded runs concurrently; 0 means GOMAXPROCS, 1 forces
 	// sequential execution. A single Run ignores it (the discrete-event
@@ -174,6 +191,36 @@ type Metrics struct {
 	CrashFailures   int64
 	DroppedArrivals int64
 
+	// Resilience-policy outcome counters (all zero when
+	// RunOptions.Resilience is nil). Retries counts re-dispatched
+	// attempts; RetrySuccesses, logical requests that completed after at
+	// least one retry. Hedges counts duplicate arms launched and
+	// HedgeWins the ones that beat their primary. Rerouted counts
+	// failover re-routes off churned gateways (both at submission and in
+	// flight, each paying the surviving uplink). Shed counts arrivals
+	// rejected at the admission watermark, BreakerOpens circuit-breaker
+	// open transitions, and DeadlineExceeded attempts failed past their
+	// per-attempt deadline.
+	Retries          int64
+	RetrySuccesses   int64
+	Hedges           int64
+	HedgeWins        int64
+	Rerouted         int64
+	Shed             int64
+	BreakerOpens     int64
+	DeadlineExceeded int64
+	// FailedRequests counts terminal logical failures over the whole run
+	// — attempts exhausted under a policy, or (in unpolicied faulted
+	// runs) gateway failures, crash losses and dropped open-loop
+	// arrivals. AvailabilityFraction is Completed/(Completed+Failed),
+	// 1 when nothing failed. Goodput is post-warmup completions/s whose
+	// user response met the policy timeout (== Throughput when no
+	// timeout or no policy) — completions that needed longer than the
+	// SLO, e.g. across retries, do not count.
+	FailedRequests       int64
+	AvailabilityFraction float64
+	Goodput              float64
+
 	Samples []Sample
 	// Traces holds per-request task breakdowns when
 	// RunOptions.TraceRequests > 0.
@@ -215,6 +262,23 @@ type request struct {
 	ifIdx  int32
 	timer  sim.Event
 
+	// Resilience bookkeeping (only consulted when a policy is active).
+	// A node is one ARM — an attempt in flight; the logical request is
+	// the primary arm (pri == nil), which a hedge arm points back to.
+	// rstate is the request's private SplitMix64 jitter substream,
+	// prevDelay the decorrelated-backoff memory, deadline the absolute
+	// per-attempt cutoff, and hedgeEv the pending hedge-launch timer
+	// (generation-counted, so stale handles cancel inertly).
+	rstate    uint64
+	prevDelay float64
+	deadline  float64
+	attempts  int32
+	arms      int32 // live arms of the logical request (primary only)
+	won       bool  // logical completion latched (primary only)
+	retried   bool  // at least one retry was dispatched (primary only)
+	pri       *request
+	hedgeEv   sim.Event
+
 	// Stage continuations, in pipeline order (bound once in bind).
 	arrive, httpGranted, preDone, dlGranted, dlDone,
 	exGranted, exDone, procDone, ssGranted, ssCPUDone,
@@ -222,6 +286,9 @@ type request struct {
 	// Simulated-network continuations: next uplink hop, response-path
 	// start, next downlink hop.
 	netUp, netResp, netDown func()
+	// Resilience continuations: retry redispatch and hedge launch
+	// (bound once in bind, scheduled by the policy hooks).
+	retryFn, hedgeFn func()
 }
 
 // bind builds the stage continuations. Each samples its service time at the
@@ -229,14 +296,24 @@ type request struct {
 // therefore every fixed-seed output — is bit-identical.
 func (req *request) bind() {
 	e := req.e
-	req.httpGranted = func() { e.preProcess(req) }
+	req.httpGranted = func() {
+		if e.resOn && e.grantGuard(req) {
+			return
+		}
+		e.preProcess(req)
+	}
 	req.arrive = func() {
+		if e.resOn && e.arriveGuard(req) {
+			return
+		}
 		if e.faultsOn && !e.admit(req) {
 			return
 		}
 		req.taskStart = e.sim.Now()
 		req.rep.http.Request(req.httpGranted)
 	}
+	req.retryFn = func() { e.redispatch(req) }
+	req.hedgeFn = func() { e.launchHedge(req) }
 	req.dlGranted = func() { e.download(req) }
 	req.preDone = func() {
 		e.rec(req, 0) // pre-process
@@ -276,6 +353,10 @@ func (req *request) bind() {
 		e.complete(req)
 	}
 	req.finish = func() {
+		if e.resOn {
+			e.finishResilient(req)
+			return
+		}
 		e.completed++
 		resp := e.sim.Now() - req.start
 		e.windowResp.Add(resp)
@@ -307,7 +388,11 @@ func (req *request) bind() {
 func (req *request) bindNet() {
 	e := req.e
 	req.netUp = func() {
-		if e.faultsOn && e.gwDown[req.gw] {
+		if e.resOn {
+			if e.netUpGuard(req) {
+				return
+			}
+		} else if e.faultsOn && e.gwDown[req.gw] {
 			e.failGateway(req)
 			return
 		}
@@ -320,7 +405,11 @@ func (req *request) bindNet() {
 		e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
 	}
 	req.netDown = func() {
-		if e.faultsOn && e.gwDown[req.gw] {
+		if e.resOn {
+			if e.netDownGuard(req) {
+				return
+			}
+		} else if e.faultsOn && e.gwDown[req.gw] {
 			e.failGateway(req)
 			return
 		}
@@ -390,6 +479,43 @@ type engine struct {
 	cCrashFail   int64
 	cDropped     int64
 
+	// Resilience-policy state (see resilience.go). resOn gates every
+	// hot-path check, mirroring faultsOn, so policy-free runs take
+	// exactly the branches — and consume exactly the randomness — they
+	// always did. The flattened policy fields avoid pointer chasing on
+	// the request hot path.
+	resOn         bool
+	resTimeout    float64 // per-attempt deadline; +Inf when unset
+	resRetryMax   int32
+	resRetryBase  float64
+	resRetryCap   float64
+	resHedgeOn    bool
+	resHedgeQ     float64
+	resHedgeDelay float64 // current hedge-launch delay; +Inf = dormant
+	resBrkThresh  int32
+	resBrkOpen    float64
+	resFailover   bool
+	resShedDepth  int
+	resSeedBase   uint64 // per-run base of the request jitter substreams
+	resSerial     uint64
+	brkFails      []int32
+	brkState      []uint8
+	brkUntil      []float64
+	gwClass       []int32 // gateway -> network-class index (failover)
+	classLo       []int32 // class -> first gateway index
+	classHi       []int32 // class -> one past last gateway index
+
+	cRetries   int64
+	cRetrySucc int64
+	cHedges    int64
+	cHedgeWins int64
+	cRerouted  int64
+	cShed      int64
+	cBrkOpens  int64
+	cDeadline  int64
+	cFailed    int64
+	goodDone   int64 // completions within the policy timeout (SLO)
+
 	openLoop   bool
 	warmupDone bool
 	completed  int
@@ -418,6 +544,9 @@ func (e *engine) newRequest(rep *replica) *request {
 	req.start = e.sim.Now()
 	req.tasks = [9]float64{}
 	req.ifIdx = -1
+	if e.resOn {
+		e.initArm(req)
+	}
 	return req
 }
 
@@ -496,10 +625,15 @@ func (r *Runner) prepare(opts RunOptions) *engine {
 	e.cal, e.hw = opts.Cal, opts.Hardware
 	e.traceN = opts.TraceRequests
 	e.extractHold = opts.Cal.ExtractThreadCPU * float64(opts.Pools.Extract)
-	e.faultsOn = !opts.Faults.IsZero()
+	e.faultsOn = !opts.Faults.IsZero() || opts.FaultTimeline != nil
 	e.faultCursor, e.parked = 0, 0
 	e.gwDownCount, e.repDownCount = 0, 0
 	e.cGatewayFail, e.cCrashReq, e.cCrashFail, e.cDropped = 0, 0, 0, 0
+	e.resOn = !opts.Resilience.IsZero()
+	e.resSerial = 0
+	e.cRetries, e.cRetrySucc, e.cHedges, e.cHedgeWins = 0, 0, 0, 0
+	e.cRerouted, e.cShed, e.cBrkOpens, e.cDeadline = 0, 0, 0, 0
+	e.cFailed, e.goodDone = 0, 0
 
 	cal, hw := opts.Cal, opts.Hardware
 	gpuRate := func(k float64) float64 {
@@ -566,6 +700,24 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 	se := e.sim
 	cal, hw := e.cal, e.hw
 
+	// Fault schedule and resilience policy first: compiled and placed on
+	// the calendar before anything else, so at any shared instant —
+	// including exactly t=0, where a windowed phase carries crashed/churned
+	// state in — fault events hold the lowest sequence numbers and fire
+	// before the first arrival or sampler tick. No pending same-instant
+	// pipeline event can slip in between, which is what makes crash/churn
+	// handlers sound.
+	if e.faultsOn {
+		if err := e.setupFaults(opts); err != nil {
+			return nil, err
+		}
+	}
+	if e.resOn {
+		if err := e.setupResilience(opts); err != nil {
+			return nil, err
+		}
+	}
+
 	switch {
 	case opts.Arrivals != nil:
 		// Open-loop, time-varying rate: nonhomogeneous Poisson arrivals by
@@ -601,16 +753,6 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 		}
 	}
 
-	// Fault schedule: compiled and placed on the calendar at setup, BEFORE
-	// the sampler ticks, so at any shared instant fault events fire first
-	// (lowest sequence numbers) — no pending same-instant pipeline event
-	// can slip in between, which is what makes crash/churn handlers sound.
-	if e.faultsOn {
-		if err := e.setupFaults(opts); err != nil {
-			return nil, err
-		}
-	}
-
 	// Metric sampler.
 	m := &Metrics{Config: opts.Pools, Clients: opts.Clients, Replicas: opts.Replicas,
 		Duration: opts.Duration, TaskTimes: make(map[string]stats.Summary)}
@@ -625,6 +767,7 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 		energyJ                           float64
 		measStartT                        float64
 		measStartCompleted                int
+		measStartGood                     int64
 	)
 	gpuMem := cal.GPUMemGB(opts.Pools)
 	sysMem := cal.SysMemGB(opts.Pools)
@@ -684,11 +827,18 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 		e.windowResp = stats.Welford{}
 		lastT = t
 
+		// Adaptive hedge delay: re-derive the launch threshold from the
+		// live post-warmup response distribution once enough samples
+		// accumulated (cold path, once per sample interval).
+		if e.resOn && e.resHedgeQ > 0 && e.respRes.N() >= resilience.HedgeMinSamples {
+			e.resHedgeDelay = e.respRes.Quantile(e.resHedgeQ)
+		}
 		if t > opts.Warmup {
 			if !e.warmupDone {
 				e.warmupDone = true
 				measStartT = t
 				measStartCompleted = e.completed
+				measStartGood = e.goodDone
 			} else {
 				// Aggregate post-warmup samples.
 				if !math.IsNaN(s.RespTime) {
@@ -755,16 +905,39 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 	m.CrashRequeues = e.cCrashReq
 	m.CrashFailures = e.cCrashFail
 	m.DroppedArrivals = e.cDropped
+	m.Retries = e.cRetries
+	m.RetrySuccesses = e.cRetrySucc
+	m.Hedges = e.cHedges
+	m.HedgeWins = e.cHedgeWins
+	m.Rerouted = e.cRerouted
+	m.Shed = e.cShed
+	m.BreakerOpens = e.cBrkOpens
+	m.DeadlineExceeded = e.cDeadline
+	m.FailedRequests = e.cFailed
+	if tot := int64(e.completed) + e.cFailed; tot > 0 {
+		m.AvailabilityFraction = float64(int64(e.completed)) / float64(tot)
+	} else {
+		m.AvailabilityFraction = 1
+	}
+	m.Goodput = m.Throughput
+	if e.resOn {
+		m.Goodput = 0
+		if span := se.Now() - measStartT; span > 0 && e.warmupDone {
+			m.Goodput = float64(e.goodDone-measStartGood) / span
+		}
+	}
 	return m, nil
 }
 
 // submit issues one request, assigned round-robin to a replica (and, in
 // simulated network mode, to a gateway), and re-submits on completion
-// (closed loop). Under a fault schedule the round-robin skips dead
-// replicas and departed gateways (see submitFaulted).
+// (closed loop). Under a fault schedule or a resilience policy the
+// round-robin is managed: dead replicas, departed gateways and open
+// circuit breakers are skipped, and arms are deadline/hedge-armed (see
+// submitManaged).
 func (e *engine) submit() {
-	if e.faultsOn {
-		e.submitFaulted()
+	if e.faultsOn || e.resOn {
+		e.submitManaged()
 		return
 	}
 	rep := e.reps[e.next%len(e.reps)]

@@ -30,17 +30,6 @@ func (e *engine) setupFaults(opts RunOptions) error {
 	if e.net != nil {
 		ngw = len(e.net.paths)
 	}
-	if spec.GatewayChurn != nil && e.net == nil {
-		return fmt.Errorf("plantnet: gateway churn requires a simulated network model")
-	}
-	if (len(spec.LinkFlaps) > 0 || len(spec.LinkSchedule) > 0) && e.net == nil {
-		return fmt.Errorf("plantnet: link flaps/schedules require a simulated network model")
-	}
-	for _, cr := range spec.ReplicaCrashes {
-		if cr.Replica >= len(e.reps) {
-			return fmt.Errorf("plantnet: crash targets replica %d of %d", cr.Replica, len(e.reps))
-		}
-	}
 	checkLinkTarget := func(g int, what string) error {
 		if g == fault.Backhaul {
 			if len(e.net.backhaul) == 0 {
@@ -56,18 +45,58 @@ func (e *engine) setupFaults(opts RunOptions) error {
 		}
 		return nil
 	}
-	for _, f := range spec.LinkFlaps {
-		if err := checkLinkTarget(f.Gateway, "link flap"); err != nil {
-			return err
+	if !spec.IsZero() {
+		if spec.GatewayChurn != nil && e.net == nil {
+			return fmt.Errorf("plantnet: gateway churn requires a simulated network model")
 		}
-	}
-	for _, tr := range spec.LinkSchedule {
-		if err := checkLinkTarget(tr.Gateway, "link transition"); err != nil {
-			return err
+		if (len(spec.LinkFlaps) > 0 || len(spec.LinkSchedule) > 0) && e.net == nil {
+			return fmt.Errorf("plantnet: link flaps/schedules require a simulated network model")
+		}
+		for _, cr := range spec.ReplicaCrashes {
+			if cr.Replica >= len(e.reps) {
+				return fmt.Errorf("plantnet: crash targets replica %d of %d", cr.Replica, len(e.reps))
+			}
+		}
+		for _, f := range spec.LinkFlaps {
+			if err := checkLinkTarget(f.Gateway, "link flap"); err != nil {
+				return err
+			}
+		}
+		for _, tr := range spec.LinkSchedule {
+			if err := checkLinkTarget(tr.Gateway, "link transition"); err != nil {
+				return err
+			}
 		}
 	}
 
-	e.faultEvents = fault.CompileInto(e.faultEvents, spec, opts.Seed+307, opts.Duration, ngw)
+	if opts.FaultTimeline != nil {
+		// A pre-compiled window of a wall-clock timeline (fault.Windows)
+		// or an explicit test schedule: validate targets, schedule
+		// verbatim.
+		for i := range opts.FaultTimeline {
+			ev := &opts.FaultTimeline[i]
+			switch ev.Kind {
+			case fault.GatewayLeave, fault.GatewayJoin:
+				if e.net == nil || ev.Target >= ngw {
+					return fmt.Errorf("plantnet: timeline event %d targets gateway %d of %d", i, ev.Target, ngw)
+				}
+			case fault.ReplicaCrash, fault.ReplicaRecover:
+				if ev.Target >= len(e.reps) {
+					return fmt.Errorf("plantnet: timeline event %d targets replica %d of %d", i, ev.Target, len(e.reps))
+				}
+			case fault.LinkDown, fault.LinkUp, fault.LinkSet:
+				if e.net == nil {
+					return fmt.Errorf("plantnet: timeline event %d needs a simulated network model", i)
+				}
+				if err := checkLinkTarget(ev.Target, "timeline event"); err != nil {
+					return err
+				}
+			}
+		}
+		e.faultEvents = append(e.faultEvents[:0], opts.FaultTimeline...)
+	} else {
+		e.faultEvents = fault.CompileInto(e.faultEvents, spec, opts.Seed+307, opts.Duration, ngw)
+	}
 	if e.faultRng == nil {
 		e.faultRng = rngutil.New(opts.Seed + 313)
 	} else {
@@ -151,8 +180,13 @@ func (e *engine) crashReplica(ri int, meanDelay float64) {
 		rep.inflight[i] = nil
 		req.timer.Cancel() // pending download / simsearch-IO stage timer
 		req.ifIdx = -1
+		if e.resOn {
+			e.crashArm(req, alive, meanDelay)
+			continue
+		}
 		if !alive {
 			e.cCrashFail++
+			e.cFailed++
 			e.freeReqs = append(e.freeReqs, req)
 			if !e.openLoop {
 				e.parked++
@@ -225,6 +259,11 @@ func (e *engine) admit(req *request) bool {
 	if e.repDown[req.repIdx] {
 		if e.repDownCount >= len(e.reps) {
 			e.cCrashFail++
+			if e.resOn {
+				e.resolveArm(req)
+				return false
+			}
+			e.cFailed++
 			e.freeReqs = append(e.freeReqs, req)
 			if !e.openLoop {
 				e.parked++
@@ -281,42 +320,36 @@ func (e *engine) untrack(req *request) {
 //simlint:noalloc fault event path (gateway churn, PR 7 contract)
 func (e *engine) failGateway(req *request) {
 	e.cGatewayFail++
+	e.cFailed++
 	e.freeReqs = append(e.freeReqs, req)
 	if !e.openLoop {
 		e.submit()
 	}
 }
 
-// submitFaulted is submit() under a fault schedule: the replica and
-// gateway round-robins skip dead targets; with nothing alive the arrival
+// submitManaged is submit() under a fault schedule and/or a resilience
+// policy: the replica round-robin skips dead replicas and open circuit
+// breakers, the gateway round-robin skips departed gateways (failing
+// over to a same-class survivor when the policy routes around churn),
+// and new arms are deadline/hedge-armed. With nothing alive the arrival
 // is dropped (open loop) or the client parks until the next join or
-// recovery drains it.
+// recovery drains it. With faults on and no policy this is
+// branch-for-branch the PR 7 submitFaulted.
 //
-//simlint:noalloc fault-aware request submission (PR 7 contract)
-func (e *engine) submitFaulted() {
+//simlint:noalloc fault/policy-aware request submission
+func (e *engine) submitManaged() {
 	n := len(e.reps)
-	if e.repDownCount >= n {
+	if e.faultsOn && e.repDownCount >= n {
 		e.dropArrival()
 		return
 	}
-	idx := e.next % n
-	for e.repDown[idx] {
-		e.next++
-		idx = e.next % n
-	}
-	e.next++
+	idx := e.pickReplica()
 	if e.net != nil {
-		ng := len(e.net.paths)
-		if e.gwDownCount >= ng {
+		if e.faultsOn && e.gwDownCount >= len(e.net.paths) {
 			e.dropArrival()
 			return
 		}
-		g := e.nextGw % ng
-		for e.gwDown[g] {
-			e.nextGw++
-			g = e.nextGw % ng
-		}
-		e.nextGw++
+		g := e.pickGateway()
 		req := e.newRequest(e.reps[idx])
 		req.repIdx = int32(idx)
 		if req.netUp == nil {
@@ -325,12 +358,75 @@ func (e *engine) submitFaulted() {
 		req.path = &e.net.paths[g]
 		req.gw = int32(g)
 		req.hop = 0
+		if e.resOn {
+			e.armRequest(req)
+		}
 		req.netUp()
 		return
 	}
 	req := e.newRequest(e.reps[idx])
 	req.repIdx = int32(idx)
+	if e.resOn {
+		e.armRequest(req)
+	}
 	e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
+}
+
+// pickReplica advances the replica round-robin, skipping crashed
+// replicas (fault schedule) and open circuit breakers (resilience
+// policy). When every live replica's breaker is open the current live
+// candidate is used anyway — admission control must not manufacture a
+// total outage. Callers guarantee at least one replica is alive.
+//
+//simlint:noalloc fault/policy-aware routing (request hot path)
+func (e *engine) pickReplica() int {
+	n := len(e.reps)
+	idx := e.next % n
+	for e.faultsOn && e.repDown[idx] {
+		e.next++
+		idx = e.next % n
+	}
+	if e.resOn && e.resBrkThresh > 0 {
+		for tries := 0; tries < n && e.brkSkip(idx); tries++ {
+			e.next++
+			idx = e.next % n
+			for e.faultsOn && e.repDown[idx] {
+				e.next++
+				idx = e.next % n
+			}
+		}
+		if e.brkState[idx] == brkHalfOpen {
+			e.brkState[idx] = brkProbing
+		}
+	}
+	e.next++
+	return idx
+}
+
+// pickGateway advances the gateway round-robin, skipping departed
+// gateways. Under failover a down slot re-routes to the nearest
+// surviving same-class gateway instead of silently advancing, counting
+// a re-route. Callers guarantee at least one gateway is up.
+//
+//simlint:noalloc fault/policy-aware routing (request hot path)
+func (e *engine) pickGateway() int {
+	ng := len(e.net.paths)
+	g := e.nextGw % ng
+	if e.faultsOn && e.gwDown[g] {
+		if e.resOn && e.resFailover {
+			if s := e.nearestSameClass(g); s >= 0 {
+				e.nextGw++
+				e.cRerouted++
+				return s
+			}
+		}
+		for e.gwDown[g] {
+			e.nextGw++
+			g = e.nextGw % ng
+		}
+	}
+	e.nextGw++
+	return g
 }
 
 // dropArrival records an arrival that found no live capacity.
@@ -339,6 +435,7 @@ func (e *engine) submitFaulted() {
 func (e *engine) dropArrival() {
 	if e.openLoop {
 		e.cDropped++
+		e.cFailed++
 		return
 	}
 	e.parked++

@@ -1,0 +1,292 @@
+// Package resilience defines the declarative client/gateway resilience
+// policy applied to engine runs: per-request timeouts, bounded retries
+// with seeded decorrelated-jitter backoff, hedged requests, per-replica
+// circuit breakers, gateway failover routing, and queue-depth load
+// shedding. A Policy is plain data — JSON-serializable so it rides
+// scenario specs and checkpoint fingerprints — and is compiled by
+// internal/plantnet at setup into pre-bound event-kernel hooks.
+//
+// Determinism: every stochastic choice a policy introduces (the retry
+// jitter) draws from a per-request SplitMix64 substream derived
+// arithmetically from the run seed and a request serial number
+// (SubstreamBase / RequestState), never from the engine's own streams —
+// so one request's retry timing is independent of the others, and a
+// policy-free run consumes exactly zero extra randomness.
+package resilience
+
+import (
+	"fmt"
+
+	"e2clab/internal/rngutil"
+)
+
+// Policy is a declarative resilience configuration. The zero value (and
+// nil) mean "no policy": every mechanism is opt-in via its own block, so
+// unpolicied scenarios serialize to nothing (omitempty) and their
+// checkpoint fingerprints are unchanged.
+type Policy struct {
+	// TimeoutSeconds is the per-attempt deadline, measured from dispatch
+	// (initial submission, retry, or hedge launch). An attempt past its
+	// deadline is failed at the next pipeline checkpoint — arrival,
+	// HTTP-slot grant, or uplink hop — and feeds the circuit breaker.
+	// 0 disables timeouts.
+	TimeoutSeconds float64 `json:"timeout_seconds,omitempty"`
+	// Retry enables bounded retries with decorrelated-jitter backoff.
+	Retry *Retry `json:"retry,omitempty"`
+	// Hedge enables hedged requests: a duplicate attempt launched on
+	// another replica after a delay, first response wins.
+	Hedge *Hedge `json:"hedge,omitempty"`
+	// Breaker enables a per-replica circuit breaker with half-open probes.
+	Breaker *Breaker `json:"breaker,omitempty"`
+	// Failover re-routes requests bound for (or in flight at) a churned
+	// gateway to the nearest surviving gateway of the same class, paying
+	// the surviving uplink's cost. Requires a simulated network model.
+	Failover bool `json:"failover,omitempty"`
+	// Shed enables admission control: arrivals above the HTTP queue-depth
+	// watermark are rejected at the replica (a retryable failure).
+	Shed *Shed `json:"shed,omitempty"`
+}
+
+// Retry bounds the retry loop. Backoff is AWS-style decorrelated jitter:
+// delay_n = min(max_delay, uniform(base_delay, 3*delay_{n-1})), drawn
+// from the request's own substream.
+type Retry struct {
+	// Max is the number of retries after the initial attempt (1..16; the
+	// upper bound keeps retry amplification bounded by construction).
+	Max int `json:"max"`
+	// BaseDelaySeconds is the backoff floor (default 0.25).
+	BaseDelaySeconds float64 `json:"base_delay_seconds,omitempty"`
+	// MaxDelaySeconds caps the backoff (default 8).
+	MaxDelaySeconds float64 `json:"max_delay_seconds,omitempty"`
+}
+
+// Hedge launches one duplicate attempt per request after a delay; the
+// first arm to complete wins and the loser is torn down at its next
+// pipeline checkpoint. The delay is either fixed (DelaySeconds) or
+// derived from the live response-time distribution (Quantile), falling
+// back to DelaySeconds until HedgeMinSamples post-warmup responses have
+// been observed (hedging stays dormant if there is no fallback).
+type Hedge struct {
+	// Quantile in (0,1): hedge after the running q-quantile of observed
+	// response times (recomputed every sample interval). 0 disables the
+	// adaptive delay and uses DelaySeconds alone.
+	Quantile float64 `json:"quantile,omitempty"`
+	// DelaySeconds is the fixed (or fallback) hedge delay. 0 with a
+	// Quantile set means "dormant until the quantile is available".
+	DelaySeconds float64 `json:"delay_seconds,omitempty"`
+}
+
+// Breaker is a per-replica circuit breaker: FailureThreshold consecutive
+// deadline failures open the circuit for OpenSeconds, after which one
+// half-open probe decides between closing and re-opening. Because its
+// failure signal is the deadline, a Breaker requires TimeoutSeconds.
+type Breaker struct {
+	FailureThreshold int `json:"failure_threshold"`
+	// OpenSeconds is how long an opened circuit rejects routing before
+	// admitting a half-open probe (default 5).
+	OpenSeconds float64 `json:"open_seconds,omitempty"`
+}
+
+// Shed is the admission-control watermark: an arrival finding its
+// replica's HTTP queue at or above QueueDepth is rejected.
+type Shed struct {
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Defaults, resolved by the accessor methods so zero-valued JSON fields
+// behave documented-default rather than degenerate.
+const (
+	DefaultRetryBaseSeconds = 0.25
+	DefaultRetryMaxSeconds  = 8
+	DefaultBreakerOpenSec   = 5
+	// MaxRetries bounds Retry.Max so worst-case amplification per logical
+	// request is fixed at validation time.
+	MaxRetries = 16
+	// HedgeMinSamples is how many post-warmup responses the adaptive
+	// hedge delay needs before the quantile estimate is trusted.
+	HedgeMinSamples = 32
+)
+
+// Base returns the resolved backoff floor.
+func (r *Retry) Base() float64 {
+	if r.BaseDelaySeconds > 0 {
+		return r.BaseDelaySeconds
+	}
+	return DefaultRetryBaseSeconds
+}
+
+// Cap returns the resolved backoff ceiling.
+func (r *Retry) Cap() float64 {
+	if r.MaxDelaySeconds > 0 {
+		return r.MaxDelaySeconds
+	}
+	return DefaultRetryMaxSeconds
+}
+
+// Open returns the resolved open-circuit duration.
+func (b *Breaker) Open() float64 {
+	if b.OpenSeconds > 0 {
+		return b.OpenSeconds
+	}
+	return DefaultBreakerOpenSec
+}
+
+// IsZero reports whether p enables nothing (nil included), the gate the
+// runner uses: a zero policy takes the exact unpolicied code paths.
+func (p *Policy) IsZero() bool {
+	return p == nil || (p.TimeoutSeconds == 0 && p.Retry == nil &&
+		p.Hedge == nil && p.Breaker == nil && !p.Failover && p.Shed == nil)
+}
+
+// Clone deep-copies p so sweep generators can mutate scenario copies
+// independently. Clone of nil is nil.
+func (p *Policy) Clone() *Policy {
+	if p == nil {
+		return nil
+	}
+	c := *p
+	if p.Retry != nil {
+		r := *p.Retry
+		c.Retry = &r
+	}
+	if p.Hedge != nil {
+		h := *p.Hedge
+		c.Hedge = &h
+	}
+	if p.Breaker != nil {
+		b := *p.Breaker
+		c.Breaker = &b
+	}
+	if p.Shed != nil {
+		s := *p.Shed
+		c.Shed = &s
+	}
+	return &c
+}
+
+// Validate checks internal consistency. Topology-dependent constraints
+// (Failover needs a simulated network) are checked by the runner against
+// the lowered scenario.
+func (p *Policy) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if p.TimeoutSeconds < 0 {
+		return fmt.Errorf("resilience: timeout_seconds %g is negative", p.TimeoutSeconds)
+	}
+	if r := p.Retry; r != nil {
+		if r.Max < 1 || r.Max > MaxRetries {
+			return fmt.Errorf("resilience: retry max %d outside [1, %d]", r.Max, MaxRetries)
+		}
+		if r.BaseDelaySeconds < 0 || r.MaxDelaySeconds < 0 {
+			return fmt.Errorf("resilience: retry delays must be non-negative")
+		}
+		if r.Cap() < r.Base() {
+			return fmt.Errorf("resilience: retry max_delay_seconds %g below base_delay_seconds %g", r.Cap(), r.Base())
+		}
+	}
+	if h := p.Hedge; h != nil {
+		if h.Quantile < 0 || h.Quantile >= 1 {
+			return fmt.Errorf("resilience: hedge quantile %g outside [0, 1)", h.Quantile)
+		}
+		if h.DelaySeconds < 0 {
+			return fmt.Errorf("resilience: hedge delay_seconds %g is negative", h.DelaySeconds)
+		}
+		if h.Quantile == 0 && h.DelaySeconds == 0 {
+			return fmt.Errorf("resilience: hedge needs a quantile or a fixed delay")
+		}
+	}
+	if b := p.Breaker; b != nil {
+		if b.FailureThreshold < 1 {
+			return fmt.Errorf("resilience: breaker failure_threshold %d must be >= 1", b.FailureThreshold)
+		}
+		if b.OpenSeconds < 0 {
+			return fmt.Errorf("resilience: breaker open_seconds %g is negative", b.OpenSeconds)
+		}
+		if p.TimeoutSeconds <= 0 {
+			return fmt.Errorf("resilience: breaker requires timeout_seconds (the deadline is its failure signal)")
+		}
+	}
+	if s := p.Shed; s != nil && s.QueueDepth < 1 {
+		return fmt.Errorf("resilience: shed queue_depth %d must be >= 1", s.QueueDepth)
+	}
+	return nil
+}
+
+// Summary renders a compact human-readable digest for tables and logs,
+// e.g. "timeout=4s retry=3 hedge@p95 breaker=5 failover shed=64".
+func (p *Policy) Summary() string {
+	if p.IsZero() {
+		return "none"
+	}
+	s := ""
+	sep := func() {
+		if s != "" {
+			s += " "
+		}
+	}
+	if p.TimeoutSeconds > 0 {
+		s += fmt.Sprintf("timeout=%gs", p.TimeoutSeconds)
+	}
+	if p.Retry != nil {
+		sep()
+		s += fmt.Sprintf("retry=%d", p.Retry.Max)
+	}
+	if p.Hedge != nil {
+		sep()
+		if p.Hedge.Quantile > 0 {
+			s += fmt.Sprintf("hedge@p%g", p.Hedge.Quantile*100)
+		} else {
+			s += fmt.Sprintf("hedge@%gs", p.Hedge.DelaySeconds)
+		}
+	}
+	if p.Breaker != nil {
+		sep()
+		s += fmt.Sprintf("breaker=%d", p.Breaker.FailureThreshold)
+	}
+	if p.Failover {
+		sep()
+		s += "failover"
+	}
+	if p.Shed != nil {
+		sep()
+		s += fmt.Sprintf("shed=%d", p.Shed.QueueDepth)
+	}
+	return s
+}
+
+// SubstreamBase derives the per-run base all request substreams of one
+// run hang off: a SplitMix64 finalization of the run seed, so adjacent
+// seeds yield unrelated bases.
+func SubstreamBase(seed int64) uint64 {
+	s := uint64(seed) ^ 0x5bf0f1e2c1ab0000
+	return rngutil.SplitMix64(&s)
+}
+
+// RequestState derives request substream #serial from a run base. The
+// serial is finalized through SplitMix64 before mixing so consecutive
+// requests start at unrelated stream positions (a plain base+serial*γ
+// offset would make one request's stream a shift of the next one's).
+//
+//simlint:noalloc per-request substream derivation on the retry hot path
+func RequestState(base, serial uint64) uint64 {
+	s := serial
+	return base ^ rngutil.SplitMix64(&s)
+}
+
+// NextBackoff advances a request substream by one draw and returns the
+// next decorrelated-jitter delay: min(maxDelay, uniform(base, 3*prev)).
+//
+//simlint:noalloc backoff draw on the retry hot path
+func NextBackoff(state *uint64, base, maxDelay, prev float64) float64 {
+	hi := prev * 3
+	if hi < base {
+		hi = base
+	}
+	u := float64(rngutil.SplitMix64(state)>>11) / (1 << 53)
+	d := base + u*(hi-base)
+	if d > maxDelay {
+		d = maxDelay
+	}
+	return d
+}

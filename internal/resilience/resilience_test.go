@@ -1,0 +1,146 @@
+package resilience
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *Policy
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Policy{}, true},
+		{"timeout only", &Policy{TimeoutSeconds: 4}, true},
+		{"negative timeout", &Policy{TimeoutSeconds: -1}, false},
+		{"retry", &Policy{Retry: &Retry{Max: 3}}, true},
+		{"retry zero max", &Policy{Retry: &Retry{Max: 0}}, false},
+		{"retry over cap", &Policy{Retry: &Retry{Max: MaxRetries + 1}}, false},
+		{"retry inverted delays", &Policy{Retry: &Retry{Max: 2, BaseDelaySeconds: 4, MaxDelaySeconds: 1}}, false},
+		{"hedge quantile", &Policy{Hedge: &Hedge{Quantile: 0.95}}, true},
+		{"hedge fixed", &Policy{Hedge: &Hedge{DelaySeconds: 1.5}}, true},
+		{"hedge empty", &Policy{Hedge: &Hedge{}}, false},
+		{"hedge quantile 1", &Policy{Hedge: &Hedge{Quantile: 1}}, false},
+		{"breaker without timeout", &Policy{Breaker: &Breaker{FailureThreshold: 5}}, false},
+		{"breaker", &Policy{TimeoutSeconds: 4, Breaker: &Breaker{FailureThreshold: 5}}, true},
+		{"breaker zero threshold", &Policy{TimeoutSeconds: 4, Breaker: &Breaker{}}, false},
+		{"shed", &Policy{Shed: &Shed{QueueDepth: 64}}, true},
+		{"shed zero", &Policy{Shed: &Shed{}}, false},
+		{"failover", &Policy{Failover: true}, true},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestIsZeroAndJSONOmission(t *testing.T) {
+	if !(*Policy)(nil).IsZero() || !(&Policy{}).IsZero() {
+		t.Fatal("nil and empty policies must be zero")
+	}
+	if (&Policy{Failover: true}).IsZero() {
+		t.Fatal("failover-only policy must not be zero")
+	}
+	// The zero policy must serialize to an empty object so unpolicied
+	// scenario fingerprints are unchanged by the new field.
+	b, err := json.Marshal(&Policy{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "{}" {
+		t.Fatalf("zero policy serialized to %s, want {}", b)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := &Policy{
+		TimeoutSeconds: 4,
+		Retry:          &Retry{Max: 3},
+		Hedge:          &Hedge{Quantile: 0.95},
+		Breaker:        &Breaker{FailureThreshold: 5},
+		Failover:       true,
+		Shed:           &Shed{QueueDepth: 64},
+	}
+	c := p.Clone()
+	c.Retry.Max = 9
+	c.Hedge.Quantile = 0.5
+	c.Breaker.FailureThreshold = 1
+	c.Shed.QueueDepth = 1
+	if p.Retry.Max != 3 || p.Hedge.Quantile != 0.95 ||
+		p.Breaker.FailureThreshold != 5 || p.Shed.QueueDepth != 64 {
+		t.Fatal("Clone shares nested blocks with the original")
+	}
+	if (*Policy)(nil).Clone() != nil {
+		t.Fatal("Clone of nil must be nil")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	r := &Retry{Max: 3}
+	if r.Base() != DefaultRetryBaseSeconds || r.Cap() != DefaultRetryMaxSeconds {
+		t.Fatalf("retry defaults: base=%g cap=%g", r.Base(), r.Cap())
+	}
+	b := &Breaker{FailureThreshold: 5}
+	if b.Open() != DefaultBreakerOpenSec {
+		t.Fatalf("breaker default open=%g", b.Open())
+	}
+}
+
+// TestBackoffIsDecorrelatedAndBounded pins the backoff contract: every
+// draw lies in [base, min(cap, 3*prev)], the stream is deterministic for
+// a fixed (seed, serial), and distinct serials give distinct streams.
+func TestBackoffIsDecorrelatedAndBounded(t *testing.T) {
+	base := SubstreamBase(42)
+	st := RequestState(base, 1)
+	prev := 0.25
+	var first []float64
+	for i := 0; i < 50; i++ {
+		d := NextBackoff(&st, 0.25, 8, prev)
+		lo, hi := 0.25, prev*3
+		if hi < lo {
+			hi = lo
+		}
+		if hi > 8 {
+			hi = 8
+		}
+		if d < lo || d > hi {
+			t.Fatalf("draw %d: %g outside [%g, %g]", i, d, lo, hi)
+		}
+		first = append(first, d)
+		prev = d
+	}
+	// Replay: identical.
+	st = RequestState(base, 1)
+	prev = 0.25
+	for i, want := range first {
+		d := NextBackoff(&st, 0.25, 8, prev)
+		if d != want {
+			t.Fatalf("replay draw %d: %g != %g", i, d, want)
+		}
+		prev = d
+	}
+	// A different serial must give a different first draw.
+	st2 := RequestState(base, 2)
+	st = RequestState(base, 1)
+	if NextBackoff(&st, 0.25, 8, 0.25) == NextBackoff(&st2, 0.25, 8, 0.25) {
+		t.Fatal("serials 1 and 2 produced identical first draws")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	if s := (*Policy)(nil).Summary(); s != "none" {
+		t.Fatalf("nil summary = %q", s)
+	}
+	p := &Policy{
+		TimeoutSeconds: 4,
+		Retry:          &Retry{Max: 3},
+		Hedge:          &Hedge{Quantile: 0.95},
+		Failover:       true,
+	}
+	if s := p.Summary(); s != "timeout=4s retry=3 hedge@p95 failover" {
+		t.Fatalf("summary = %q", s)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"e2clab/internal/config"
 	"e2clab/internal/fault"
+	"e2clab/internal/resilience"
 )
 
 // BenchmarkSuite tracks the cost of a full standard-suite campaign at a
@@ -62,6 +63,56 @@ func BenchmarkFaultedCampaign(b *testing.B) {
 				GatewayChurn:   &fault.Churn{MeanUpSeconds: 40, MeanDownSeconds: 10},
 				ReplicaCrashes: []fault.Crash{{Replica: 1, AtSeconds: 50, RecoverAfterSeconds: 25}},
 				LinkFlaps:      []fault.Flap{{Gateway: 0, FirstAtSeconds: 20, DownSeconds: 6, PeriodSeconds: 45}},
+			}},
+		}),
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sr, err := RunSuite(s, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, e := range sr.Errs {
+			if e != nil {
+				b.Fatalf("scenario %d: %v", j, e)
+			}
+		}
+	}
+}
+
+// BenchmarkResilientCampaign tracks a ResilienceSweep campaign: the
+// BenchmarkFaultedCampaign chaos schedule re-run policy-free, with bounded
+// retries, and with retry + hedging + failover. It prices the resilience
+// hot paths (per-request policy substream, deadline checks at the pipeline
+// checkpoints, hedge timer churn, breaker bookkeeping, gateway re-routes)
+// on top of the faulted simulated-network transport.
+func BenchmarkResilientCampaign(b *testing.B) {
+	base := Scenario{
+		Name:         "bench-resilient",
+		NetworkModel: "simulated",
+		Replicas:     2,
+		Gateways: []GatewayClass{
+			{Name: "fiber", Count: 16, DelayMS: 2, RateGbps: 10},
+			{Name: "lte", Count: 4, DelayMS: 45, RateGbps: 0.05},
+		},
+		DurationSeconds: 120,
+		Faults: &fault.Spec{
+			GatewayChurn:   &fault.Churn{MeanUpSeconds: 40, MeanDownSeconds: 10},
+			ReplicaCrashes: []fault.Crash{{Replica: 1, AtSeconds: 50, RecoverAfterSeconds: 25}},
+		},
+	}
+	s := Suite{
+		Name: "bench-resilience-sweep", Seed: 42, DurationSeconds: 120,
+		Scenarios: ResilienceSweep(base, []ResilienceProfile{
+			{Name: "none", Policy: nil},
+			{Name: "retry", Policy: &resilience.Policy{
+				Retry: &resilience.Retry{Max: 3, BaseDelaySeconds: 0.25, MaxDelaySeconds: 4},
+			}},
+			{Name: "full", Policy: &resilience.Policy{
+				TimeoutSeconds: 8,
+				Retry:          &resilience.Retry{Max: 3, BaseDelaySeconds: 0.25, MaxDelaySeconds: 4},
+				Hedge:          &resilience.Hedge{Quantile: 0.95},
+				Failover:       true,
 			}},
 		}),
 	}

@@ -6,6 +6,7 @@ import (
 
 	"e2clab/internal/config"
 	"e2clab/internal/fault"
+	"e2clab/internal/resilience"
 	"e2clab/internal/workload"
 )
 
@@ -146,6 +147,30 @@ func FaultSweep(base Scenario, profiles []FaultProfile) []Scenario {
 	return out
 }
 
+// ResilienceProfile is a named resilience policy — the unit of the
+// availability axis ("which client/routing policy meets the SLO under
+// this fault schedule, and at what cost?").
+type ResilienceProfile struct {
+	Name   string             `json:"name"`
+	Policy *resilience.Policy `json:"policy"`
+}
+
+// ResilienceSweep applies each policy to the base scenario, replacing any
+// policy the base carries (the fault schedule is kept, so the family
+// compares policies under identical chaos). Names get a "-<profile>"
+// suffix; policies are deep-copied so profiles stay independent across
+// the family.
+func ResilienceSweep(base Scenario, profiles []ResilienceProfile) []Scenario {
+	out := make([]Scenario, 0, len(profiles))
+	for _, p := range profiles {
+		s := clone(base)
+		s.Name = fmt.Sprintf("%s-%s", base.Name, p.Name)
+		s.Resilience = p.Policy.Clone()
+		out = append(out, s)
+	}
+	return out
+}
+
 // NamedTrace is a recorded workload trace with a display name.
 type NamedTrace struct {
 	Name  string          `json:"name"`
@@ -179,6 +204,7 @@ func clone(s Scenario) Scenario {
 		spec := s.Faults.Clone()
 		s.Faults = &spec
 	}
+	s.Resilience = s.Resilience.Clone()
 	if s.Workload.Trace != nil {
 		tr := s.Workload.Trace.Clone()
 		s.Workload.Trace = &tr

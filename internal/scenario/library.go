@@ -4,6 +4,7 @@ import (
 	"e2clab/internal/config"
 	"e2clab/internal/fault"
 	"e2clab/internal/plantnet"
+	"e2clab/internal/resilience"
 	"e2clab/internal/workload"
 )
 
@@ -24,9 +25,9 @@ func PaperScenario() Scenario {
 
 // StandardSuite is the built-in campaign `experiments suite` runs: the
 // paper's deployment plus topology, degradation, simulated-network,
-// heterogeneity, placement, workload-shape, fault-injection, packet-
-// transport, and trace-driven variations of it — thirteen ready-made
-// edge-to-cloud scenarios.
+// heterogeneity, placement, workload-shape, fault-injection, resilience-
+// policy, packet-transport, and trace-driven variations of it — fourteen
+// ready-made edge-to-cloud scenarios.
 func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	base := PaperScenario()
 
@@ -96,6 +97,18 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 		}},
 	})
 
+	// Availability axis: the heavy chaos schedule re-run under a
+	// resilience policy — bounded jittered retries plus gateway failover —
+	// so the suite table shows what the policy buys (availability, goodput)
+	// and what it costs (re-routed uplink time) under identical faults.
+	resilient := clone(chaos[1])
+	resilient.Name = "chaos-heavy-resilient"
+	resilient.Resilience = &resilience.Policy{
+		TimeoutSeconds: 8,
+		Retry:          &resilience.Retry{Max: 3, BaseDelaySeconds: 0.25, MaxDelaySeconds: 4},
+		Failover:       true,
+	}
+
 	// The lossy uplink again under packetized TCP-like transport: per-packet
 	// loss and congestion backoff instead of whole-payload resend.
 	packet := clone(base)
@@ -121,6 +134,7 @@ func StandardSuite(durationSeconds float64, repeats int, seed int64) Suite {
 	scenarios = append(scenarios, fog)
 	scenarios = append(scenarios, shapes...)
 	scenarios = append(scenarios, chaos...)
+	scenarios = append(scenarios, resilient)
 	scenarios = append(scenarios, packet)
 	scenarios = append(scenarios, traces...)
 

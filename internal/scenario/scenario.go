@@ -30,6 +30,7 @@ import (
 	"e2clab/internal/fault"
 	"e2clab/internal/netem"
 	"e2clab/internal/plantnet"
+	"e2clab/internal/resilience"
 	"e2clab/internal/rngutil"
 	"e2clab/internal/stats"
 	"e2clab/internal/workload"
@@ -97,6 +98,15 @@ type Scenario struct {
 	// is part of the JSON spec and therefore of the suite checkpoint
 	// fingerprint: changing it invalidates resume for the scenario.
 	Faults *fault.Spec `json:"faults,omitempty"`
+
+	// Resilience is the client/routing policy every engine run applies on
+	// top of whatever the fault schedule throws at it: per-request
+	// timeouts, jittered retries, hedged requests, circuit breaking,
+	// gateway failover, and admission control. Nil (or the zero policy)
+	// means the pre-policy behavior, bit-for-bit. Failover requires a
+	// simulated network model. Like Faults, the policy is part of the JSON
+	// spec and therefore of the suite checkpoint fingerprint.
+	Resilience *resilience.Policy `json:"resilience,omitempty"`
 
 	// UploadBytes / ResponseBytes size the request payloads crossing the
 	// network (defaults: 1.2 MB photo up, 50 KB identification down).
@@ -181,6 +191,9 @@ func (s Scenario) Validate() error {
 	if err := d.validateFaults(); err != nil {
 		return err
 	}
+	if err := d.validateResilience(); err != nil {
+		return err
+	}
 	cfg, err := d.Deployment()
 	if err != nil {
 		return err
@@ -242,6 +255,21 @@ func (d Scenario) validateFaults() error {
 		if err := checkTarget(tr.Gateway, "link transition"); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// validateResilience cross-checks the policy against the scenario's
+// lowered topology; d is already defaulted.
+func (d Scenario) validateResilience() error {
+	if d.Resilience.IsZero() {
+		return nil
+	}
+	if err := d.Resilience.Validate(); err != nil {
+		return fmt.Errorf("scenario %q: %w", d.Name, err)
+	}
+	if d.Resilience.Failover && !d.simulatesNetwork() {
+		return fmt.Errorf("scenario %q: failover routing needs network_model simulated or packet", d.Name)
 	}
 	return nil
 }
@@ -461,6 +489,25 @@ type Result struct {
 	FaultCrashRequeues   int `json:"fault_crash_requeues,omitempty"`
 	FaultCrashFailures   int `json:"fault_crash_failures,omitempty"`
 	FaultDropped         int `json:"fault_dropped,omitempty"`
+
+	// Resilience outcome counters, aggregated across phases and repeats;
+	// all zero when the scenario applies no policy (Failed also counts
+	// unpolicied fault losses). See plantnet.Metrics for the taxonomy.
+	Failed           int `json:"failed,omitempty"`
+	Retries          int `json:"retries,omitempty"`
+	RetrySuccesses   int `json:"retry_successes,omitempty"`
+	Hedges           int `json:"hedges,omitempty"`
+	HedgeWins        int `json:"hedge_wins,omitempty"`
+	Rerouted         int `json:"rerouted,omitempty"`
+	Shed             int `json:"shed,omitempty"`
+	BreakerOpens     int `json:"breaker_opens,omitempty"`
+	DeadlineExceeded int `json:"deadline_exceeded,omitempty"`
+	// Goodput is the duration-weighted post-warmup completions/s whose
+	// response met the policy timeout (== Throughput with no policy);
+	// Availability is completed / (completed + failed), 1 when nothing
+	// failed — the availability-SLO fraction the resilience layer targets.
+	Goodput      float64 `json:"goodput"`
+	Availability float64 `json:"availability"`
 }
 
 // Run executes the scenario: every workload phase (or, for a continuous
@@ -528,11 +575,34 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 			runs = append(runs, phaseRun{clients: ph.Clients, duration: ph.DurationSeconds})
 		}
 	}
+	// Phased workloads lower the fault schedule ONCE onto the scenario's
+	// wall-clock timeline and slice it into per-phase windows, so a crash
+	// scheduled at t=400 of a 3x300s diurnal shape lands mid-phase-2
+	// instead of replaying relative to every phase's own t=0. The
+	// dedicated compile seed is drawn before the phase seeds (mirroring
+	// the engine's Seed+307 convention), and repeats of a phase replay the
+	// same realization — one timeline per scenario execution.
+	var fwin [][]fault.Event
+	if !d.Faults.IsZero() && len(runs) > 1 {
+		durs := make([]float64, len(runs))
+		var total float64
+		for i, pr := range runs {
+			durs[i] = pr.duration
+			total += pr.duration
+		}
+		ngw := 0
+		if netmod != nil {
+			ngw = d.TotalGateways()
+		}
+		tl := fault.Compile(d.Faults, seeder.Next()+307, total, ngw)
+		fwin = fault.Windows(tl, durs)
+	}
 	var pooled stats.Welford
-	var thrSec, p95Sec, elapsed float64
+	var thrSec, p95Sec, goodSec, elapsed float64
 	completed := 0
 	var gwFail, crashReq, crashFail, dropped int64
-	for _, pr := range runs {
+	var failed, retries, retrySucc, hedges, hedgeWins, rerouted, shedded, brkOpens, deadline int64
+	for i, pr := range runs {
 		opts := plantnet.RunOptions{
 			Pools:          d.Pools,
 			Clients:        pr.clients,
@@ -540,11 +610,15 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 			Network:        netmod,
 			Replicas:       d.Replicas,
 			Faults:         d.Faults,
+			Resilience:     d.Resilience,
 			Duration:       pr.duration,
 			Warmup:         math.Min(60, pr.duration/5),
 			SampleInterval: math.Min(10, pr.duration/10),
 			MaxParallel:    repeatParallelism,
 			Seed:           seeder.Next(),
+		}
+		if fwin != nil {
+			opts.FaultTimeline = fwin[i]
 		}
 		rep, err := runner.RunRepeated(opts, d.Repeats)
 		if err != nil {
@@ -557,11 +631,21 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 				}
 			}
 			p95Sec += m.RespP95 * pr.duration
+			goodSec += m.Goodput * pr.duration
 			completed += m.Completed
 			gwFail += m.GatewayFailures
 			crashReq += m.CrashRequeues
 			crashFail += m.CrashFailures
 			dropped += m.DroppedArrivals
+			failed += m.FailedRequests
+			retries += m.Retries
+			retrySucc += m.RetrySuccesses
+			hedges += m.Hedges
+			hedgeWins += m.HedgeWins
+			rerouted += m.Rerouted
+			shedded += m.Shed
+			brkOpens += m.BreakerOpens
+			deadline += m.DeadlineExceeded
 		}
 		thrSec += rep.Throughput * pr.duration
 		elapsed += pr.duration
@@ -577,6 +661,10 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 		// Simulated mode measures the network inside the run; adding the
 		// closed form on top would double-count it.
 		respMean = engine.Mean
+	}
+	availability := 1.0
+	if completed+int(failed) > 0 {
+		availability = float64(completed) / float64(completed+int(failed))
 	}
 	return &Result{
 		Name:                 d.Name,
@@ -594,6 +682,17 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 		FaultCrashRequeues:   int(crashReq),
 		FaultCrashFailures:   int(crashFail),
 		FaultDropped:         int(dropped),
+		Failed:               int(failed),
+		Retries:              int(retries),
+		RetrySuccesses:       int(retrySucc),
+		Hedges:               int(hedges),
+		HedgeWins:            int(hedgeWins),
+		Rerouted:             int(rerouted),
+		Shed:                 int(shedded),
+		BreakerOpens:         int(brkOpens),
+		DeadlineExceeded:     int(deadline),
+		Goodput:              goodSec / (elapsed * float64(d.Repeats)),
+		Availability:         availability,
 	}, nil
 }
 

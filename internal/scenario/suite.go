@@ -156,6 +156,10 @@ func encodeResult(r *Result) []tune.Report {
 		float64(r.Completed),
 		float64(r.FaultGatewayFailures), float64(r.FaultCrashRequeues),
 		float64(r.FaultCrashFailures), float64(r.FaultDropped),
+		float64(r.Failed), float64(r.Retries), float64(r.RetrySuccesses),
+		float64(r.Hedges), float64(r.HedgeWins), float64(r.Rerouted),
+		float64(r.Shed), float64(r.BreakerOpens), float64(r.DeadlineExceeded),
+		r.Goodput, r.Availability,
 	}
 	out := make([]tune.Report, len(vals))
 	for i, v := range vals {
@@ -167,7 +171,7 @@ func encodeResult(r *Result) []tune.Report {
 // decodeResult rebuilds a Result from checkpoint reports; ok is false when
 // the reports do not carry the expected layout (stale checkpoint format).
 func decodeResult(index int, name string, reports []tune.Report) (*Result, bool) {
-	if len(reports) != 17 {
+	if len(reports) != 28 {
 		return nil, false
 	}
 	v := make([]float64, len(reports))
@@ -184,6 +188,10 @@ func decodeResult(index int, name string, reports []tune.Report) (*Result, bool)
 		Completed:            int(v[12]),
 		FaultGatewayFailures: int(v[13]), FaultCrashRequeues: int(v[14]),
 		FaultCrashFailures: int(v[15]), FaultDropped: int(v[16]),
+		Failed: int(v[17]), Retries: int(v[18]), RetrySuccesses: int(v[19]),
+		Hedges: int(v[20]), HedgeWins: int(v[21]), Rerouted: int(v[22]),
+		Shed: int(v[23]), BreakerOpens: int(v[24]), DeadlineExceeded: int(v[25]),
+		Goodput: v[26], Availability: v[27],
 	}
 	r.EngineResp.N = int(v[3])
 	r.EngineResp.Mean = v[4]

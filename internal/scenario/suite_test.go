@@ -59,6 +59,10 @@ func bits(r *Result) []uint64 {
 		uint64(r.Completed),
 		uint64(r.FaultGatewayFailures), uint64(r.FaultCrashRequeues),
 		uint64(r.FaultCrashFailures), uint64(r.FaultDropped),
+		uint64(r.Failed), uint64(r.Retries), uint64(r.RetrySuccesses),
+		uint64(r.Hedges), uint64(r.HedgeWins), uint64(r.Rerouted),
+		uint64(r.Shed), uint64(r.BreakerOpens), uint64(r.DeadlineExceeded),
+		math.Float64bits(r.Goodput), math.Float64bits(r.Availability),
 	}
 }
 

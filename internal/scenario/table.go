@@ -13,7 +13,7 @@ import (
 func ComparisonTable(sr *SuiteResult) *export.Table {
 	t := export.NewTable(fmt.Sprintf("suite %s — cross-scenario comparison", sr.Suite),
 		"scenario", "net model", "gateways", "clients", "resp (s)", "±std", "engine (s)",
-		"network (s)", "p95 (s)", "throughput (req/s)", "completed")
+		"network (s)", "p95 (s)", "throughput (req/s)", "completed", "availability")
 	for i, r := range sr.Results {
 		if r == nil {
 			status := "not run"
@@ -25,7 +25,8 @@ func ComparisonTable(sr *SuiteResult) *export.Table {
 		}
 		t.AddRow(r.Name, r.NetModel, r.Gateways, r.Clients,
 			r.RespMean, r.EngineResp.StdDev, r.EngineResp.Mean,
-			r.NetOverheadSec, r.RespP95, r.Throughput, r.Completed)
+			r.NetOverheadSec, r.RespP95, r.Throughput, r.Completed,
+			fmt.Sprintf("%.4f", r.Availability))
 	}
 	return t
 }
@@ -49,6 +50,17 @@ func DetailTable(r *Result) *export.Table {
 		t.AddRow("fault: crash requeues", r.FaultCrashRequeues)
 		t.AddRow("fault: crash failures", r.FaultCrashFailures)
 		t.AddRow("fault: dropped arrivals", r.FaultDropped)
+	}
+	if r.Failed+r.Retries+r.Hedges+r.Rerouted+r.Shed+r.BreakerOpens+r.DeadlineExceeded > 0 {
+		t.AddRow("availability", fmt.Sprintf("%.4f", r.Availability))
+		t.AddRow("goodput (req/s)", r.Goodput)
+		t.AddRow("failed requests", r.Failed)
+		t.AddRow("resilience: retries", fmt.Sprintf("%d (%d won)", r.Retries, r.RetrySuccesses))
+		t.AddRow("resilience: hedges", fmt.Sprintf("%d (%d won)", r.Hedges, r.HedgeWins))
+		t.AddRow("resilience: rerouted", r.Rerouted)
+		t.AddRow("resilience: shed", r.Shed)
+		t.AddRow("resilience: breaker opens", r.BreakerOpens)
+		t.AddRow("resilience: deadline exceeded", r.DeadlineExceeded)
 	}
 	return t
 }

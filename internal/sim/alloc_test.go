@@ -189,3 +189,28 @@ func TestZeroAllocCrashChurn(t *testing.T) {
 		e.Run(e.Now() + 100)
 	})
 }
+
+func TestZeroAllocRetryHedgeTimerChurn(t *testing.T) {
+	// The resilience layer's steady-state calendar pattern: arm a hedge
+	// timer per request, cancel most at completion, reschedule the rest as
+	// backoff retries. Pure schedule/cancel churn on warm tiers.
+	e := NewEngine()
+	for i := 0; i < 256; i++ {
+		e.Schedule(float64(i%40)*0.25, nopFn)
+	}
+	e.Run(1e6)
+	var hedges [8]Event
+	requireZeroAllocs(t, "retry/hedge timer churn", func() {
+		for i := range hedges {
+			hedges[i] = e.Schedule(1.5, nopFn) // hedge armed at dispatch
+		}
+		for i := 0; i < 6; i++ {
+			hedges[i].Cancel() // primary finished first: cancel the hedge
+		}
+		for i := 6; i < 8; i++ {
+			e.Schedule(0.25*float64(i), nopFn) // backoff retry
+		}
+		for e.Step() {
+		}
+	})
+}

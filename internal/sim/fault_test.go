@@ -178,3 +178,41 @@ func TestLinkPacketMode(t *testing.T) {
 		t.Errorf("lossless packet transfer: delivered=%d retransmits=%d", n, l.Retransmits())
 	}
 }
+
+// Fault-edge matrix, kernel level: a zero-duration outage (down and
+// restore at the same instant) must leave deliveries untouched; a
+// reconfiguration scheduled exactly on the horizon still fires; one
+// scheduled past the horizon does not.
+func TestFaultEdgesAtKernelLevel(t *testing.T) {
+	// Zero-duration outage: down then restore at t=1, both before the
+	// payload's delivery event. The transfer must complete as if the
+	// outage never happened (stall and drain at the same instant).
+	e := NewEngine()
+	l := NewLink(e, 0.01, 1e8, 0, rand.New(rand.NewSource(1)))
+	var doneAt float64
+	e.At(0.995, func() { l.Transfer(1e5, func() { doneAt = e.Now() }) })
+	e.At(1.0, func() { l.Reconfigure(-1, 0, 100) })
+	e.At(1.0, func() { l.Restore() })
+	e.Run(100)
+	want := 0.995 + 0.01 + 1e5*8/1e8
+	if math.Abs(doneAt-want) > 1e-9 {
+		t.Errorf("zero-duration outage delivery at %v, want %v", doneAt, want)
+	}
+	if l.Stalled() != 0 || l.Blackholed() != 0 {
+		t.Errorf("stalled=%d blackholed=%d after zero-duration outage", l.Stalled(), l.Blackholed())
+	}
+
+	// An event at exactly the horizon fires; one past it does not.
+	e2 := NewEngine()
+	p := NewPool(e2, "x", 1)
+	atHorizon, pastHorizon := false, false
+	e2.At(10, func() { atHorizon = true; p.Crash() })
+	e2.At(10.000001, func() { pastHorizon = true })
+	e2.Run(10)
+	if !atHorizon {
+		t.Error("event at exactly the horizon did not fire")
+	}
+	if pastHorizon {
+		t.Error("event past the horizon fired")
+	}
+}

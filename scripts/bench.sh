@@ -22,7 +22,7 @@ run() { # run <package> <bench regexp>
 {
     run ./internal/surrogate/ 'BenchmarkForestFit|BenchmarkPredictBatch'
     run ./internal/bo/ 'BenchmarkAskLoop'
-    run ./internal/scenario/ 'BenchmarkSuite|BenchmarkNetworkPath|BenchmarkFaultedCampaign'
+    run ./internal/scenario/ 'BenchmarkSuite|BenchmarkNetworkPath|BenchmarkFaultedCampaign|BenchmarkResilientCampaign'
     run . 'BenchmarkTable3Optimization|BenchmarkTable2Baseline'
 } >"$tmp"
 

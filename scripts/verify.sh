@@ -5,7 +5,7 @@
 # zero-alloc standing invariants), race-checks the packages with
 # goroutine-parallel paths (surrogate worker pool, bo batch scoring,
 # plantnet repeated-run pool — including the simulated-network link,
-# fault-schedule, and piecewise-arrival code it drives — scenario suite
+# fault-schedule, resilience-policy, and piecewise-arrival code it drives — scenario suite
 # runner, tune's
 # concurrent trial executor, space transforms it exercises), and runs the
 # allocation-regression gate: the
@@ -21,7 +21,14 @@ go vet ./...
 # Static-analysis gate: exits 1 on any unsuppressed finding.
 go run ./cmd/simlint
 go test ./...
-go test -race ./internal/surrogate/... ./internal/bo/... ./internal/fault/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/... ./internal/tune/... ./internal/space/...
+go test -race ./internal/surrogate/... ./internal/bo/... ./internal/fault/... ./internal/resilience/... ./internal/plantnet/... ./internal/scenario/... ./internal/sim/... ./internal/workload/... ./internal/tune/... ./internal/space/...
+# Chaos gate: the faulted and policied campaign paths — churn/crash/flap
+# hooks, resilience checkpoints (retry/hedge/breaker/failover), and the
+# availability sweep — re-run under the race detector with a real
+# (uncached) pass, since these exercise the parallel suite runner and
+# repeated-run pool against mutated engine state.
+go test -race -count=1 -run 'Fault|Chaos|Resilien|Availability|Flap|Crash|Churn' \
+    ./internal/plantnet/ ./internal/scenario/
 # Allocation-regression gate: -count=1 forces a real (uncached) run.
 go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
 echo "verify OK"
