@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// checkNoAllocClosure closes the //simlint:noalloc proof over the static
+// call graph. The escape-analysis cross-check (noalloc) proves that an
+// annotated function's own body allocates nothing — but an allocation
+// moved into an un-annotated helper vanishes from the annotated span, so
+// the contract could be hollowed out one extraction at a time while the
+// check stays green. This check makes that impossible: a proven function
+// directly calling a module function that is neither proven itself nor
+// inlined at the call site is a finding.
+//
+// A call site is exempt when:
+//
+//   - the callee is not resolvable statically (builtins, conversions,
+//     closures, interface/func-value calls) — dynamic dispatch inside a
+//     hot path is caught by the escape check itself when it allocates;
+//   - the callee lives outside the module (stdlib math, sort, ...): the
+//     kernel's stdlib surface is the allocation-free arithmetic core, and
+//     anything heavier shows up as an escape in the caller;
+//   - the callee carries its own //simlint:noalloc proof (any package,
+//     already analyzed — Run visits packages bottom-up);
+//   - the compiler inlined the call, which folds the callee's body into
+//     the caller's proven span (same compile as the escape check, so the
+//     two can never disagree about one build).
+//
+// Sanctioned cold-path calls (//go:noinline constructors and freelist
+// growth) are attested per call site with //simlint:allow noallocclosure.
+func checkNoAllocClosure(prog *Program, pkg *Package, dirs *directives, facts *compileFacts) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range dirs.noalloc {
+		if a.fn.Body == nil {
+			continue
+		}
+		caller := a.fn.Name.Name
+		ast.Inspect(a.fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg, call)
+			if fn == nil || !moduleFunc(prog, pkg, fn) {
+				return true
+			}
+			if prog.proven[fn] {
+				return true
+			}
+			lp := prog.Fset.Position(call.Lparen)
+			if facts.inlinedAt(lp.Filename, lp.Line, lp.Column) {
+				return true
+			}
+			diags = append(diags, diag(prog, call.Pos(), "noallocclosure",
+				"%s is proven //simlint:noalloc but calls %s, which is neither proven nor inlined here: the zero-allocation contract does not cover the callee's body; annotate %s, let it inline, or attest the cold path with //simlint:allow noallocclosure", caller, fn.Name(), fn.Name()))
+			return true
+		})
+	}
+	return diags
+}
+
+// moduleFunc reports whether fn is declared in this module (same package,
+// or any package under the module path). Fixture loads have no module
+// path, so there only same-package callees count.
+func moduleFunc(prog *Program, pkg *Package, fn *types.Func) bool {
+	p := fn.Pkg()
+	if p == nil {
+		return false
+	}
+	if p == pkg.Types {
+		return true
+	}
+	return prog.Module != "" &&
+		(p.Path() == prog.Module || strings.HasPrefix(p.Path(), prog.Module+"/"))
+}

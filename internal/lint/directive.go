@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -10,6 +11,7 @@ type allowDirective struct {
 	check  string
 	reason string
 	used   bool
+	pos    token.Pos
 }
 
 // funcAnnotation is a //simlint:noalloc or //simlint:ordered directive
@@ -19,6 +21,7 @@ type funcAnnotation struct {
 	file   *ast.File
 	path   string // absolute file path
 	reason string
+	pos    token.Pos // the directive comment itself
 }
 
 // directives indexes every //simlint: comment of a package.
@@ -28,8 +31,9 @@ type directives struct {
 	// it can sit either at the end of the offending line or just above it.
 	allow map[string]map[int][]*allowDirective
 	// noalloc and ordered collect the annotated functions.
-	noalloc []funcAnnotation
-	ordered map[*ast.FuncDecl]bool
+	noalloc     []funcAnnotation
+	ordered     map[*ast.FuncDecl]bool
+	orderedList []funcAnnotation
 	// hygiene carries findings about the directives themselves.
 	hygiene []Diagnostic
 }
@@ -61,13 +65,14 @@ func collectDirectives(prog *Program, pkg *Package) *directives {
 				docOwned[c] = true
 				switch verb {
 				case "noalloc":
-					d.noalloc = append(d.noalloc, funcAnnotation{fn: fd, file: file, path: path, reason: rest})
+					d.noalloc = append(d.noalloc, funcAnnotation{fn: fd, file: file, path: path, reason: rest, pos: c.Pos()})
 				case "ordered":
 					if strings.TrimSpace(rest) == "" {
 						d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
 							"//simlint:ordered on %s needs a reason explaining why its goroutines preserve determinism", fd.Name.Name))
 					}
 					d.ordered[fd] = true
+					d.orderedList = append(d.orderedList, funcAnnotation{fn: fd, file: file, path: path, reason: rest, pos: c.Pos()})
 				case "allow":
 					// allow inside a doc comment suppresses nothing useful
 					// (it would cover the func keyword line only); treat as
@@ -106,7 +111,7 @@ func collectDirectives(prog *Program, pkg *Package) *directives {
 							d.allow[path] = byLine
 						}
 						byLine[pos.Line] = append(byLine[pos.Line],
-							&allowDirective{check: check, reason: reason})
+							&allowDirective{check: check, reason: reason, pos: c.Pos()})
 					}
 				case "noalloc", "ordered":
 					d.hygiene = append(d.hygiene, diag(prog, c.Pos(), "directive",
@@ -138,12 +143,13 @@ func parseDirective(text string) (verb, rest string, ok bool) {
 }
 
 // filter drops diagnostics covered by an allow directive for their check on
-// the same line or the line above. Directive-hygiene findings are never
-// suppressible.
+// the same line or the line above. Directive-hygiene and stalesuppress
+// findings are never suppressible: the remedy is fixing or deleting the
+// directive itself.
 func (d *directives) filter(diags []Diagnostic) []Diagnostic {
 	out := diags[:0]
 	for _, dg := range diags {
-		if dg.Check != "directive" && d.suppressed(dg) {
+		if dg.Check != "directive" && dg.Check != "stalesuppress" && d.suppressed(dg) {
 			continue
 		}
 		out = append(out, dg)

@@ -1,0 +1,76 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzDirective hammers the //simlint: directive surface: the parser must
+// be total (never panic) and the hygiene findings a comment produces must
+// be deterministic — a directive that parses differently across runs would
+// make the repo self-check flap. The fuzz input is an arbitrary comment
+// body tried both as a free-standing comment and as a function doc
+// comment, the two placements collectDirectives distinguishes.
+func FuzzDirective(f *testing.F) {
+	for _, seed := range []string{
+		"//simlint:allow wallclock justified by the fixture",
+		"//simlint:allow nosuchcheck reason",
+		"//simlint:allow wallclock",
+		"//simlint:allow",
+		"//simlint:noalloc proven arithmetic",
+		"//simlint:noalloc",
+		"//simlint:ordered",
+		"//simlint:ordered reason\r\ntrailing after crlf",
+		"//simlint:bogusverb x",
+		"//simlint:",
+		"// simlint:allow maprange accidental space form",
+		"//simlint:allow wallclock\ttab separated reason",
+		"///simlint:allow goroutine triple slash",
+		"// an unrelated comment",
+		"//simlint:allow kernelsync \x00 control bytes",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, comment string) {
+		// The raw parser is total and deterministic, CRLF and all.
+		v1, r1, ok1 := parseDirective(comment)
+		v2, r2, ok2 := parseDirective(comment)
+		if v1 != v2 || r1 != r2 || ok1 != ok2 {
+			t.Fatalf("parseDirective(%q) not deterministic: (%q,%q,%v) vs (%q,%q,%v)",
+				comment, v1, r1, ok1, v2, r2, ok2)
+		}
+
+		// Embed the comment in a synthetic file — once as a function doc
+		// comment, once free-standing inside a body — and require the
+		// hygiene findings to be byte-identical across two independent
+		// parse+collect runs.
+		line := strings.NewReplacer("\r", " ", "\n", " ", "\x00", " ").Replace(comment)
+		if !strings.HasPrefix(line, "//") {
+			line = "//" + line
+		}
+		src := "package fuzzdir\n\n" + line + "\nfunc target() {}\n\nfunc body() {\n\t_ = 1 " + line + "\n}\n"
+		run := func() []Diagnostic {
+			fset := token.NewFileSet()
+			file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil
+			}
+			prog := &Program{Fset: fset}
+			pkg := &Package{Files: []string{"fuzz.go"}, Syntax: []*ast.File{file}}
+			return collectDirectives(prog, pkg).hygiene
+		}
+		d1, d2 := run(), run()
+		if !reflect.DeepEqual(d1, d2) {
+			t.Fatalf("hygiene findings not deterministic for %q:\n%v\nvs\n%v", comment, d1, d2)
+		}
+		for _, dg := range d1 {
+			if dg.Check != "directive" {
+				t.Fatalf("hygiene finding with check %q (want directive): %s", dg.Check, dg)
+			}
+		}
+	})
+}

@@ -9,10 +9,11 @@ import (
 	"testing"
 )
 
-// fixtureExports resolves stdlib export data once for every fixture test;
-// go list is module-aware, so resolution runs from the repository root.
+// fixtureExports resolves export data once for every fixture test; go list
+// is module-aware, so resolution runs from the repository root. rngutil is
+// included so the rngshare fixture can exercise module stream types.
 var fixtureExports = sync.OnceValues(func() (map[string]string, error) {
-	return LoadExports("../..", "time", "math/rand", "sort")
+	return LoadExports("../..", "time", "math/rand", "sort", "e2clab/internal/rngutil")
 })
 
 // expectation is one parsed `// want "regex"` marker. The optional signed
@@ -68,22 +69,31 @@ func collectWants(t *testing.T, fset *token.FileSet, pkg *Package) []*expectatio
 	return wants
 }
 
+// fixtureOpts positions a testdata package inside the configuration axes a
+// real module package would occupy.
+type fixtureOpts struct {
+	det     bool // member of the deterministic-package set
+	kernel  bool // member of the kernel-package set (kernelsync)
+	noalloc bool // run the compile-backed noalloc/noallocclosure checks
+}
+
 // runFixture analyzes one testdata package and matches its diagnostics
 // against the want markers: every finding needs a marker on its line and
 // every marker needs a finding, so both false positives and false
 // negatives fail the test.
-func runFixture(t *testing.T, name string, det, noalloc bool) {
+func runFixture(t *testing.T, name string, opt fixtureOpts) {
 	t.Helper()
 	exports, err := fixtureExports()
 	if err != nil {
 		t.Fatalf("resolving stdlib export data: %v", err)
 	}
 	fset := token.NewFileSet()
-	prog, pkg, err := LoadDir(fset, filepath.Join("testdata", name), exports, det)
+	prog, pkg, err := LoadDir(fset, filepath.Join("testdata", name), exports, opt.det)
 	if err != nil {
 		t.Fatalf("loading fixture %s: %v", name, err)
 	}
-	cfg := Config{SkipNoAlloc: !noalloc}
+	pkg.Kernel = opt.kernel
+	cfg := Config{SkipNoAlloc: !opt.noalloc}
 	diags := AnalyzePackage(prog, pkg, &cfg)
 	wants := collectWants(t, fset, pkg)
 
@@ -109,16 +119,24 @@ func runFixture(t *testing.T, name string, det, noalloc bool) {
 	}
 }
 
-func TestWallclockFixture(t *testing.T)  { runFixture(t, "wallclock", false, false) }
-func TestGlobalrandFixture(t *testing.T) { runFixture(t, "globalrand", false, false) }
-func TestMaprangeFixture(t *testing.T)   { runFixture(t, "maprange", true, false) }
-func TestRNGSeedFixture(t *testing.T)    { runFixture(t, "rngseed", false, false) }
-func TestGoroutineFixture(t *testing.T)  { runFixture(t, "goroutine", true, false) }
-func TestDirectiveFixture(t *testing.T)  { runFixture(t, "directive", true, false) }
+func TestWallclockFixture(t *testing.T)  { runFixture(t, "wallclock", fixtureOpts{}) }
+func TestGlobalrandFixture(t *testing.T) { runFixture(t, "globalrand", fixtureOpts{}) }
+func TestMaprangeFixture(t *testing.T)   { runFixture(t, "maprange", fixtureOpts{det: true}) }
+func TestRNGSeedFixture(t *testing.T)    { runFixture(t, "rngseed", fixtureOpts{}) }
+func TestGoroutineFixture(t *testing.T)  { runFixture(t, "goroutine", fixtureOpts{det: true}) }
+func TestDirectiveFixture(t *testing.T)  { runFixture(t, "directive", fixtureOpts{det: true}) }
+func TestRNGShareFixture(t *testing.T)   { runFixture(t, "rngshare", fixtureOpts{det: true}) }
+func TestKernelSyncFixture(t *testing.T) { runFixture(t, "kernelsync", fixtureOpts{kernel: true}) }
+func TestSchemaFixture(t *testing.T)     { runFixture(t, "schema", fixtureOpts{}) }
+func TestStaleFixture(t *testing.T)      { runFixture(t, "stalesuppress", fixtureOpts{det: true}) }
 
-// TestNoAllocFixture shells out to go tool compile, so it is the one
-// fixture that exercises the real escape-analysis path end to end.
-func TestNoAllocFixture(t *testing.T) { runFixture(t, "noalloc", false, true) }
+// TestNoAllocFixture and TestNoAllocClosureFixture shell out to go tool
+// compile, so they exercise the real escape-analysis and inlining-fact
+// paths end to end.
+func TestNoAllocFixture(t *testing.T) { runFixture(t, "noalloc", fixtureOpts{noalloc: true}) }
+func TestNoAllocClosureFixture(t *testing.T) {
+	runFixture(t, "noallocclosure", fixtureOpts{noalloc: true})
+}
 
 // TestNonDeterministicScope pins the scoping rule: outside the
 // deterministic set, maprange and goroutine stay quiet while the

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// wallBlockFuncs are the time-package entry points that block on (or arm
+// timers against) the wall clock. time.Now/Since are already covered
+// module-wide by the wallclock check; these are the scheduler-blocking
+// class that must never appear where virtual time is authoritative.
+var wallBlockFuncs = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// checkKernelSync bans runtime synchronization inside the kernel packages
+// (KernelPackages): any use of sync or sync/atomic, channel operations
+// (send, receive, select, range-over-channel, close, channel types),
+// and wall-clock blocking (time.Sleep and friends). The event kernel runs
+// single-threaded under a virtual clock — a mutex or channel there either
+// does nothing or, worse, couples event order to the Go scheduler, which is
+// exactly the nondeterminism the calendar exists to exclude. Attested
+// exceptions use //simlint:allow kernelsync <reason>.
+func checkKernelSync(prog *Program, pkg *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, file := range pkg.Syntax {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.SelectorExpr:
+				// Any use of the sync / sync/atomic packages, including
+				// type references like a sync.Mutex struct field.
+				if id, ok := x.X.(*ast.Ident); ok {
+					if pn, ok := pkg.Info.Uses[id].(*types.PkgName); ok {
+						switch pn.Imported().Path() {
+						case "sync", "sync/atomic":
+							diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+								"%s.%s in a kernel package: the event kernel is single-threaded under virtual time and must not depend on runtime synchronization", pn.Imported().Path(), x.Sel.Name))
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(pkg, x); fn != nil && fn.Pkg() != nil &&
+					fn.Pkg().Path() == "time" && wallBlockFuncs[fn.Name()] {
+					diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+						"time.%s blocks on the wall clock; kernel code advances time only through the event calendar", fn.Name()))
+				}
+				if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok {
+					if b, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "close" {
+						diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+							"close on a channel in a kernel package: channel signaling couples event order to the Go scheduler"))
+					}
+				}
+			case *ast.SendStmt:
+				diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+					"channel send in a kernel package: channel signaling couples event order to the Go scheduler"))
+			case *ast.UnaryExpr:
+				if x.Op == token.ARROW {
+					diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+						"channel receive in a kernel package: channel signaling couples event order to the Go scheduler"))
+				}
+			case *ast.SelectStmt:
+				diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+					"select in a kernel package: select order is scheduler- and runtime-dependent"))
+			case *ast.RangeStmt:
+				if t := pkg.Info.TypeOf(x.X); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+							"range over a channel in a kernel package: channel signaling couples event order to the Go scheduler"))
+					}
+				}
+			case *ast.ChanType:
+				diags = append(diags, diag(prog, x.Pos(), "kernelsync",
+					"channel type in a kernel package: kernel state must not be shared through channels"))
+			}
+			return true
+		})
+	}
+	return diags
+}

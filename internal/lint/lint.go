@@ -36,6 +36,26 @@
 //   - noalloc:    functions annotated //simlint:noalloc are cross-checked
 //     against `go tool compile -m` escape analysis; any "escapes to heap"
 //     or "moved to heap" diagnostic inside the function body fails.
+//   - noallocclosure: the //simlint:noalloc proof is closed over the static
+//     call graph — a proven function directly calling a module function
+//     that is neither proven itself nor inlined at the call site is a
+//     finding, so the contract cannot be hollowed out one helper at a time.
+//   - rngshare:   a *rand.Rand (or rngutil stream) captured by more than
+//     one spawned goroutine, spawned repeatedly from a loop, or drawn on
+//     by both the spawner and a goroutine, in the deterministic packages —
+//     the nondeterminism class -race only catches when draws collide.
+//   - kernelsync: wall-clock and scheduler blocking primitives
+//     (sync.Mutex, sync/atomic, channel operations, select, time.Sleep)
+//     inside the kernel packages (KernelPackages): virtual time must never
+//     block on the Go runtime.
+//   - schema:     the declared checkpoint layout (`checkpointLayout`) is
+//     cross-checked against the Result struct, the encode/decode
+//     functions, and the render tables, so a field added in one layer but
+//     not the others is a build error instead of a silent drift.
+//   - stalesuppress: a //simlint:allow that suppresses nothing, a
+//     //simlint:ordered on a function that spawns nothing, or a dead
+//     //simlint:noalloc (no body, or duplicated) is itself a finding —
+//     the suppression inventory can only shrink honestly.
 //   - directive:  hygiene of the //simlint: comments themselves (unknown
 //     checks, missing reasons, misplaced annotations).
 //
@@ -71,14 +91,21 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
-// KnownChecks is the vocabulary accepted by //simlint:allow.
+// KnownChecks is the vocabulary accepted by //simlint:allow and -checks.
+// (Findings of the always-on directive hygiene check and of stalesuppress
+// are never suppressible: the remedy for a stale directive is deleting it.)
 var KnownChecks = map[string]bool{
-	"wallclock":  true,
-	"globalrand": true,
-	"maprange":   true,
-	"rngseed":    true,
-	"goroutine":  true,
-	"noalloc":    true,
+	"wallclock":      true,
+	"globalrand":     true,
+	"maprange":       true,
+	"rngseed":        true,
+	"goroutine":      true,
+	"noalloc":        true,
+	"noallocclosure": true,
+	"rngshare":       true,
+	"kernelsync":     true,
+	"schema":         true,
+	"stalesuppress":  true,
 }
 
 // DeterministicPackages lists the import paths whose code must be a pure
@@ -100,6 +127,14 @@ var DeterministicPackages = []string{
 	"e2clab/internal/metaheur",
 }
 
+// KernelPackages lists the import paths whose code runs inside the
+// discrete-event kernel: virtual time there must never block on wall-clock
+// or scheduler primitives, which is what the kernelsync check bans
+// (sync.Mutex, sync/atomic, channel operations, select, time.Sleep).
+var KernelPackages = []string{
+	"e2clab/internal/sim",
+}
+
 // Config controls a Run.
 type Config struct {
 	// Dir is the module root (the directory holding go.mod).
@@ -107,6 +142,9 @@ type Config struct {
 	// Deterministic lists import paths subject to the deterministic-package
 	// checks. Nil means DeterministicPackages.
 	Deterministic []string
+	// Kernel lists import paths subject to the kernelsync check. Nil means
+	// KernelPackages.
+	Kernel []string
 	// Checks enables a subset of checks by name; nil enables all. The
 	// directive check is always on.
 	Checks map[string]bool
@@ -132,6 +170,42 @@ func (c *Config) deterministic(importPath string) bool {
 	return false
 }
 
+func (c *Config) kernel(importPath string) bool {
+	ker := c.Kernel
+	if ker == nil {
+		ker = KernelPackages
+	}
+	for _, p := range ker {
+		if p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+// ran reports whether findings of check could have been produced for pkg
+// under this configuration — the gate the stalesuppress check uses so an
+// //simlint:allow is only "stale" when the check it suppresses actually ran
+// (a -checks subset run must not misreport every other allow as dead).
+func (c *Config) ran(check string, pkg *Package) bool {
+	if !c.enabled(check) {
+		return false
+	}
+	switch check {
+	case "maprange", "goroutine", "rngshare":
+		return pkg.Deterministic
+	case "kernelsync":
+		return pkg.Kernel
+	case "noalloc", "noallocclosure":
+		return !c.SkipNoAlloc
+	case "schema":
+		return findSchemaLayout(pkg) != nil
+	case "stalesuppress":
+		return false // never suppressible, so an allow for it never fires
+	}
+	return true
+}
+
 // Run loads the module at cfg.Dir and applies every enabled check,
 // returning the surviving (unsuppressed) diagnostics sorted by position. A
 // non-nil error means the analysis itself could not run (a build or load
@@ -144,6 +218,7 @@ func Run(cfg Config) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range prog.Packages {
 		pkg.Deterministic = cfg.deterministic(pkg.ImportPath)
+		pkg.Kernel = cfg.kernel(pkg.ImportPath)
 		diags = append(diags, AnalyzePackage(prog, pkg, &cfg)...)
 	}
 	sortDiagnostics(diags)
@@ -154,6 +229,7 @@ func Run(cfg Config) ([]Diagnostic, error) {
 // returns the unsuppressed findings. Exposed for fixture tests.
 func AnalyzePackage(prog *Program, pkg *Package, cfg *Config) []Diagnostic {
 	dirs := collectDirectives(prog, pkg)
+	prog.registerProven(pkg, dirs)
 	var diags []Diagnostic
 	diags = append(diags, dirs.hygiene...)
 	if cfg.enabled("wallclock") || cfg.enabled("globalrand") || cfg.enabled("maprange") {
@@ -165,8 +241,17 @@ func AnalyzePackage(prog *Program, pkg *Package, cfg *Config) []Diagnostic {
 	if cfg.enabled("goroutine") && pkg.Deterministic {
 		diags = append(diags, checkGoroutine(prog, pkg, dirs)...)
 	}
-	if cfg.enabled("noalloc") && !cfg.SkipNoAlloc {
-		nd, err := checkNoAlloc(prog, pkg, dirs)
+	if cfg.enabled("rngshare") && pkg.Deterministic {
+		diags = append(diags, checkRNGShare(prog, pkg)...)
+	}
+	if cfg.enabled("kernelsync") && pkg.Kernel {
+		diags = append(diags, checkKernelSync(prog, pkg)...)
+	}
+	if cfg.enabled("schema") {
+		diags = append(diags, checkSchema(prog, pkg)...)
+	}
+	if (cfg.enabled("noalloc") || cfg.enabled("noallocclosure")) && !cfg.SkipNoAlloc {
+		nd, facts, err := checkNoAlloc(prog, pkg, dirs)
 		if err != nil {
 			diags = append(diags, Diagnostic{
 				File:    relFile(prog, pkg.Files[0]),
@@ -176,9 +261,18 @@ func AnalyzePackage(prog *Program, pkg *Package, cfg *Config) []Diagnostic {
 				Message: fmt.Sprintf("escape analysis failed: %v", err),
 			})
 		}
-		diags = append(diags, nd...)
+		if cfg.enabled("noalloc") {
+			diags = append(diags, nd...)
+		}
+		if cfg.enabled("noallocclosure") && facts != nil {
+			diags = append(diags, checkNoAllocClosure(prog, pkg, dirs, facts)...)
+		}
 	}
-	return dirs.filter(diags)
+	out := dirs.filter(diags)
+	if cfg.enabled("stalesuppress") {
+		out = append(out, checkStaleSuppress(prog, pkg, dirs, cfg)...)
+	}
+	return out
 }
 
 func sortDiagnostics(diags []Diagnostic) {

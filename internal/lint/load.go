@@ -29,6 +29,10 @@ type Package struct {
 	// Deterministic marks membership in the deterministic-package set
 	// (set by Run from the Config; fixture loaders set it directly).
 	Deterministic bool
+	// Kernel marks membership in the kernel-package set subject to the
+	// kernelsync check (set by Run from the Config; fixture loaders set it
+	// directly).
+	Kernel bool
 }
 
 // Program is a loaded module: every module package type-checked in
@@ -37,9 +41,29 @@ type Package struct {
 // escape-analysis compile).
 type Program struct {
 	Dir      string // module root (absolute)
+	Module   string // module path ("" for fixture loads)
 	Fset     *token.FileSet
 	Packages []*Package        // module packages, dependency order
 	Export   map[string]string // import path -> export data file
+
+	// proven accumulates the //simlint:noalloc-annotated functions of every
+	// analyzed package (keyed by their types.Object), in dependency order,
+	// so the noallocclosure check can recognize cross-package proven callees.
+	proven map[types.Object]bool
+}
+
+// registerProven records pkg's //simlint:noalloc functions in the
+// module-wide proven set. Run analyzes packages bottom-up, so by the time a
+// caller is checked every callee it can reach is already registered.
+func (p *Program) registerProven(pkg *Package, dirs *directives) {
+	if p.proven == nil {
+		p.proven = map[types.Object]bool{}
+	}
+	for _, a := range dirs.noalloc {
+		if obj := pkg.Info.Defs[a.fn.Name]; obj != nil {
+			p.proven[obj] = true
+		}
+	}
 }
 
 // listPackage is the subset of `go list -json` output the loader consumes.
@@ -82,6 +106,7 @@ func Load(dir string) (*Program, error) {
 			prog.Export[lp.ImportPath] = lp.Export
 		}
 		if !lp.Standard && lp.Module != nil {
+			prog.Module = lp.Module.Path
 			module = append(module, lp)
 		}
 	}

@@ -38,12 +38,20 @@ type noallocSpan struct {
 //     un-annotated functions — with //go:noinline where the compiler would
 //     otherwise fold them into an annotated caller and re-attribute the
 //     allocation to the call site.
-func checkNoAlloc(prog *Program, pkg *Package, dirs *directives) ([]Diagnostic, error) {
+//
+// The returned compileFacts carry the inlining decisions of the same
+// compile for the noallocclosure check, so both checks see one consistent
+// compiler run.
+func checkNoAlloc(prog *Program, pkg *Package, dirs *directives) ([]Diagnostic, *compileFacts, error) {
 	if len(dirs.noalloc) == 0 {
-		return nil, nil
+		return nil, nil, nil
 	}
 	var spans []noallocSpan
 	for _, a := range dirs.noalloc {
+		if a.fn.Body == nil {
+			// Nothing to prove; stalesuppress reports the dead annotation.
+			continue
+		}
 		start := prog.Fset.Position(a.fn.Pos())
 		end := prog.Fset.Position(a.fn.Body.End())
 		spans = append(spans, noallocSpan{
@@ -53,9 +61,9 @@ func checkNoAlloc(prog *Program, pkg *Package, dirs *directives) ([]Diagnostic, 
 			endLine:   end.Line,
 		})
 	}
-	escapes, err := escapeAnalysis(pkg.ImportPath, pkg.Dir, pkg.Files, prog.Export)
+	escapes, facts, err := escapeAnalysis(pkg.ImportPath, pkg.Dir, pkg.Files, prog.Export)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var diags []Diagnostic
 	for _, esc := range escapes {
@@ -72,7 +80,7 @@ func checkNoAlloc(prog *Program, pkg *Package, dirs *directives) ([]Diagnostic, 
 			}
 		}
 	}
-	return diags, nil
+	return diags, facts, nil
 }
 
 // escapeDiag is one parsed compiler escape finding.
@@ -83,6 +91,20 @@ type escapeDiag struct {
 	msg  string
 }
 
+// compileFacts are the non-escape observations of the `go tool compile -m`
+// run: the call sites the compiler inlined, keyed "path:line:col". A call
+// that is inlined has no frame of its own — its allocations (if any) are
+// attributed to the caller and therefore already covered by the caller's
+// noalloc span, which is why the noallocclosure check treats inlined call
+// sites as proven.
+type compileFacts struct {
+	inlined map[string]bool
+}
+
+func (f *compileFacts) inlinedAt(path string, line, col int) bool {
+	return f != nil && f.inlined[fmt.Sprintf("%s:%d:%d", path, line, col)]
+}
+
 var (
 	posLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
 	// A message consisting solely of a quoted string constant escaping is
@@ -91,12 +113,13 @@ var (
 )
 
 // escapeAnalysis compiles the given files as one package with -m and
-// returns the heap-allocation diagnostics. export maps every dependency
-// import path to its export-data file (a superset is fine).
-func escapeAnalysis(importPath, dir string, files []string, export map[string]string) ([]escapeDiag, error) {
+// returns the heap-allocation diagnostics plus the inlining facts. export
+// maps every dependency import path to its export-data file (a superset is
+// fine).
+func escapeAnalysis(importPath, dir string, files []string, export map[string]string) ([]escapeDiag, *compileFacts, error) {
 	tmp, err := os.MkdirTemp("", "simlint-noalloc-*")
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer os.RemoveAll(tmp)
 
@@ -111,7 +134,7 @@ func escapeAnalysis(importPath, dir string, files []string, export map[string]st
 	}
 	importcfg := filepath.Join(tmp, "importcfg")
 	if err := os.WriteFile(importcfg, cfg.Bytes(), 0o644); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	args := []string{"tool", "compile",
@@ -128,10 +151,11 @@ func escapeAnalysis(importPath, dir string, files []string, export map[string]st
 	cmd.Stdout = &stdout
 	cmd.Stderr = &stderr
 	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go tool compile -m %s: %v\n%s", importPath, err, stderr.String())
+		return nil, nil, fmt.Errorf("go tool compile -m %s: %v\n%s", importPath, err, stderr.String())
 	}
 
 	var out []escapeDiag
+	facts := &compileFacts{inlined: map[string]bool{}}
 	seen := map[escapeDiag]bool{}
 	for _, line := range strings.Split(stdout.String(), "\n") {
 		m := posLine.FindStringSubmatch(strings.TrimSpace(line))
@@ -139,15 +163,19 @@ func escapeAnalysis(importPath, dir string, files []string, export map[string]st
 			continue
 		}
 		msg := m[4]
-		isEscape := strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
-		if !isEscape || constString.MatchString(msg) {
-			continue
-		}
 		ln, _ := strconv.Atoi(m[2])
 		col, _ := strconv.Atoi(m[3])
 		path := m[1]
 		if !filepath.IsAbs(path) {
 			path = filepath.Join(dir, path)
+		}
+		if strings.HasPrefix(msg, "inlining call to ") {
+			facts.inlined[fmt.Sprintf("%s:%d:%d", path, ln, col)] = true
+			continue
+		}
+		isEscape := strings.HasSuffix(msg, "escapes to heap") || strings.HasPrefix(msg, "moved to heap:")
+		if !isEscape || constString.MatchString(msg) {
+			continue
 		}
 		// The compiler can repeat a diagnostic (e.g. once per inlining
 		// consideration); report each site once.
@@ -157,5 +185,5 @@ func escapeAnalysis(importPath, dir string, files []string, export map[string]st
 			out = append(out, d)
 		}
 	}
-	return out, nil
+	return out, facts, nil
 }

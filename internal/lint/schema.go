@@ -1,0 +1,445 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// The schema check cross-links the four places a checkpointed metric must
+// exist — the Result struct, the declared checkpoint layout, the
+// encode/decode functions, and the render tables — so adding a field to
+// one layer and forgetting another is a lint failure instead of a metric
+// that silently stops surviving resume (or survives but is never shown).
+//
+// The check self-gates on a package declaring
+//
+//	var checkpointLayout = []checkpointField{ {"Path", get, set}, ... }
+//
+// next to a struct type named Result, which is exactly the contract
+// internal/scenario exposes (and what the fixture package mirrors). Within
+// such a package it verifies:
+//
+//   - every layout entry names a numeric Result field (recursing through
+//     named struct fields like stats.Summary), exactly once, and its get
+//     and set accessor bodies read and write precisely the field the entry
+//     names — a mislabeled slot would corrupt resumes undetectably;
+//   - every numeric Result field is carried by exactly one of
+//     checkpointLayout and checkpointOmitted, and every non-numeric field
+//     is declared omitted with a reason — a new counter cannot be
+//     forgotten silently;
+//   - encodeResult and decodeResult (when present) consume the layout
+//     variable rather than a parallel hand-maintained list;
+//   - every layout path is rendered by ComparisonTable or DetailTable
+//     (when the package defines them) — a checkpointed metric the tables
+//     never show is invisible drift.
+
+// schemaLayout is a located checkpoint-layout declaration.
+type schemaLayout struct {
+	ident *ast.Ident        // the checkpointLayout name
+	lit   *ast.CompositeLit // the slice literal
+}
+
+// findSchemaLayout locates a package-level `var checkpointLayout =
+// []checkpointField{...}` declaration, or nil. Its presence is what opts a
+// package into the schema check.
+func findSchemaLayout(pkg *Package) *schemaLayout {
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || len(vs.Values) != 1 {
+					continue
+				}
+				if vs.Names[0].Name != "checkpointLayout" {
+					continue
+				}
+				if lit, ok := vs.Values[0].(*ast.CompositeLit); ok {
+					return &schemaLayout{ident: vs.Names[0], lit: lit}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func checkSchema(prog *Program, pkg *Package) []Diagnostic {
+	lay := findSchemaLayout(pkg)
+	if lay == nil {
+		return nil
+	}
+	var diags []Diagnostic
+
+	resultObj, _ := pkg.Types.Scope().Lookup("Result").(*types.TypeName)
+	if resultObj == nil {
+		return []Diagnostic{diag(prog, lay.ident.Pos(), "schema",
+			"checkpointLayout is declared but the package has no Result struct to lay out")}
+	}
+	st, ok := resultObj.Type().Underlying().(*types.Struct)
+	if !ok {
+		return []Diagnostic{diag(prog, lay.ident.Pos(), "schema",
+			"checkpointLayout is declared but Result is not a struct")}
+	}
+	numeric, other := flattenResult(st, "", pkg.Types)
+	numericSet := map[string]bool{}
+	for _, f := range numeric {
+		numericSet[f] = true
+	}
+	otherSet := map[string]bool{}
+	for _, f := range other {
+		otherSet[f] = true
+	}
+
+	// Layout entries: name/get/set agreement, existence, uniqueness.
+	layout := map[string]token.Pos{}
+	for _, elt := range lay.lit.Elts {
+		name, getPath, setPath, perr := parseLayoutEntry(pkg, elt)
+		if perr != "" {
+			diags = append(diags, diag(prog, elt.Pos(), "schema",
+				"checkpointLayout entry is not statically checkable: %s (the analyzer needs the {\"Path\", get, set} literal shape)", perr))
+			continue
+		}
+		if _, dup := layout[name]; dup {
+			diags = append(diags, diag(prog, elt.Pos(), "schema",
+				"duplicate checkpointLayout entry %q: the slot would be encoded twice and decode would double-write the field", name))
+			continue
+		}
+		layout[name] = elt.Pos()
+		if !numericSet[name] {
+			diags = append(diags, diag(prog, elt.Pos(), "schema",
+				"checkpointLayout entry %q does not name a numeric Result field", name))
+			continue
+		}
+		if getPath != name {
+			diags = append(diags, diag(prog, elt.Pos(), "schema",
+				"checkpointLayout entry %q reads r.%s in its get accessor: a mislabeled slot corrupts every resumed Result silently", name, getPath))
+		}
+		if setPath != name {
+			diags = append(diags, diag(prog, elt.Pos(), "schema",
+				"checkpointLayout entry %q writes r.%s in its set accessor: a mislabeled slot corrupts every resumed Result silently", name, setPath))
+		}
+	}
+
+	// Omissions: real fields, with reasons, not double-declared.
+	omitted := map[string]token.Pos{}
+	for _, om := range findOmissions(pkg) {
+		if om.field == "" {
+			diags = append(diags, diag(prog, om.pos, "schema",
+				"checkpointOmitted entry is not a {\"Field\", \"reason\"} literal the analyzer can read"))
+			continue
+		}
+		if _, dup := omitted[om.field]; dup {
+			diags = append(diags, diag(prog, om.pos, "schema",
+				"duplicate checkpointOmitted entry %q", om.field))
+			continue
+		}
+		omitted[om.field] = om.pos
+		if om.reason == "" {
+			diags = append(diags, diag(prog, om.pos, "schema",
+				"checkpointOmitted entry %q needs a reason the field survives resume without being stored", om.field))
+		}
+		if !numericSet[om.field] && !otherSet[om.field] {
+			diags = append(diags, diag(prog, om.pos, "schema",
+				"checkpointOmitted names %q, which is not a Result field: delete the stale omission", om.field))
+		}
+		if _, inLayout := layout[om.field]; inLayout {
+			diags = append(diags, diag(prog, om.pos, "schema",
+				"%q is declared omitted but has a checkpointLayout slot: a field is carried by exactly one of the two", om.field))
+		}
+	}
+
+	// Every field in exactly one of layout / omitted.
+	for _, f := range numeric {
+		if _, inLayout := layout[f]; inLayout {
+			continue
+		}
+		if _, inOmitted := omitted[f]; inOmitted {
+			continue
+		}
+		diags = append(diags, diag(prog, lay.ident.Pos(), "schema",
+			"numeric Result field %s is in neither checkpointLayout nor checkpointOmitted: append a layout slot (old checkpoints are rejected by the length check and re-run) or declare the omission", f))
+	}
+	for _, f := range other {
+		if _, inOmitted := omitted[f]; inOmitted {
+			continue
+		}
+		diags = append(diags, diag(prog, lay.ident.Pos(), "schema",
+			"non-numeric Result field %s must be declared in checkpointOmitted with the reason it survives resume", f))
+	}
+
+	// encode/decode must consume the layout, not a parallel list.
+	layoutObj := pkg.Info.Defs[lay.ident]
+	for _, name := range []string{"encodeResult", "decodeResult"} {
+		fd := lookupFunc(pkg, name)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		if !usesObject(pkg, fd.Body, layoutObj) {
+			diags = append(diags, diag(prog, fd.Pos(), "schema",
+				"%s does not consume checkpointLayout: the layout is the single source of the checkpoint wire format", name))
+		}
+	}
+
+	// Render coverage: every layout path must be read by a table function.
+	covered, haveTables := tableCoverage(pkg, resultObj)
+	if haveTables {
+		for _, elt := range lay.lit.Elts {
+			name, _, _, perr := parseLayoutEntry(pkg, elt)
+			if perr != "" || !numericSet[name] {
+				continue
+			}
+			if !covered[name] {
+				diags = append(diags, diag(prog, elt.Pos(), "schema",
+					"layout field %s is rendered by neither ComparisonTable nor DetailTable: a checkpointed metric the tables never show drifts invisibly", name))
+			}
+		}
+	}
+	return diags
+}
+
+// flattenResult lists Result's leaf fields as dotted paths, split into
+// numeric (integer/float underlying, including named struct sub-fields
+// reachable from here) and non-numeric leaves. Fields of foreign structs
+// that are unexported there are invisible to this package and skipped.
+func flattenResult(st *types.Struct, prefix string, from *types.Package) (numeric, other []string) {
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if !f.Exported() && f.Pkg() != from {
+			continue
+		}
+		path := prefix + f.Name()
+		switch u := f.Type().Underlying().(type) {
+		case *types.Basic:
+			if u.Info()&(types.IsInteger|types.IsFloat) != 0 {
+				numeric = append(numeric, path)
+			} else {
+				other = append(other, path)
+			}
+		case *types.Struct:
+			n, o := flattenResult(u, path+".", from)
+			numeric = append(numeric, n...)
+			other = append(other, o...)
+		default:
+			other = append(other, path)
+		}
+	}
+	return numeric, other
+}
+
+// parseLayoutEntry destructures one {"Path", get, set} element. perr
+// describes why the element cannot be checked; empty on success.
+func parseLayoutEntry(pkg *Package, elt ast.Expr) (name, getPath, setPath, perr string) {
+	lit, ok := elt.(*ast.CompositeLit)
+	if !ok || len(lit.Elts) != 3 {
+		return "", "", "", "expected a three-element composite literal"
+	}
+	name, ok = stringLit(lit.Elts[0])
+	if !ok {
+		return "", "", "", "the field name must be a string literal"
+	}
+	getPath, ok = accessorPath(pkg, lit.Elts[1], false)
+	if !ok {
+		return name, "", "", "the get accessor must be func(r *Result) float64 { return [float64(]r.Field[)] }"
+	}
+	setPath, ok = accessorPath(pkg, lit.Elts[2], true)
+	if !ok {
+		return name, getPath, "", "the set accessor must be func(r *Result, v float64) { r.Field = [T(]v[)] }"
+	}
+	return name, getPath, setPath, ""
+}
+
+// accessorPath extracts the Result field path a get or set accessor
+// touches. Get shape: a single `return r.Path` or `return float64(r.Path)`.
+// Set shape: a single `r.Path = v` or `r.Path = T(v)`.
+func accessorPath(pkg *Package, e ast.Expr, set bool) (string, bool) {
+	fl, ok := ast.Unparen(e).(*ast.FuncLit)
+	if !ok || fl.Type.Params == nil || len(fl.Type.Params.List) == 0 ||
+		len(fl.Type.Params.List[0].Names) == 0 || len(fl.Body.List) != 1 {
+		return "", false
+	}
+	recv := pkg.Info.Defs[fl.Type.Params.List[0].Names[0]]
+	if recv == nil {
+		return "", false
+	}
+	if set {
+		as, ok := fl.Body.List[0].(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 || as.Tok != token.ASSIGN {
+			return "", false
+		}
+		return fieldPath(pkg, recv, as.Lhs[0])
+	}
+	ret, ok := fl.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	return fieldPath(pkg, recv, stripConversion(ret.Results[0]))
+}
+
+// stripConversion unwraps a single-argument call (float64(x), int(x), ...)
+// to its argument.
+func stripConversion(e ast.Expr) ast.Expr {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && len(call.Args) == 1 {
+		return call.Args[0]
+	}
+	return e
+}
+
+// fieldPath resolves a selector chain rooted at recv to its dotted path.
+func fieldPath(pkg *Package, recv types.Object, e ast.Expr) (string, bool) {
+	var parts []string
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			if pkg.Info.Uses[x] != recv {
+				return "", false
+			}
+			if len(parts) == 0 {
+				return "", false
+			}
+			return strings.Join(parts, "."), true
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// omission is one parsed checkpointOmitted element.
+type omission struct {
+	field  string
+	reason string
+	pos    token.Pos
+}
+
+func findOmissions(pkg *Package) []omission {
+	var out []omission
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "checkpointOmitted" || len(vs.Values) != 1 {
+					continue
+				}
+				lit, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				for _, elt := range lit.Elts {
+					om := omission{pos: elt.Pos()}
+					if el, ok := elt.(*ast.CompositeLit); ok && len(el.Elts) == 2 {
+						if f, ok := stringLit(el.Elts[0]); ok {
+							om.field = f
+						}
+						if r, ok := stringLit(el.Elts[1]); ok {
+							om.reason = r
+						}
+					}
+					out = append(out, om)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func stringLit(e ast.Expr) (string, bool) {
+	bl, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || bl.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(bl.Value)
+	return s, err == nil
+}
+
+// lookupFunc finds the package-level function declaration named name.
+func lookupFunc(pkg *Package, name string) *ast.FuncDecl {
+	for _, file := range pkg.Syntax {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Recv == nil && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(pkg *Package, n ast.Node, obj types.Object) bool {
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && pkg.Info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// tableCoverage collects every Result field path read through a selector
+// chain inside ComparisonTable or DetailTable. haveTables is false when the
+// package defines neither (coverage is then not checked — the layout may
+// live in a package that renders elsewhere).
+func tableCoverage(pkg *Package, result *types.TypeName) (map[string]bool, bool) {
+	covered := map[string]bool{}
+	have := false
+	for _, name := range []string{"ComparisonTable", "DetailTable"} {
+		fd := lookupFunc(pkg, name)
+		if fd == nil || fd.Body == nil {
+			continue
+		}
+		have = true
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if path, ok := resultRootedPath(pkg, result, sel); ok {
+				covered[path] = true
+			}
+			return true
+		})
+	}
+	return covered, have
+}
+
+// resultRootedPath resolves a selector chain whose root expression has type
+// Result (or *Result) to its dotted field path.
+func resultRootedPath(pkg *Package, result *types.TypeName, sel *ast.SelectorExpr) (string, bool) {
+	var parts []string
+	var e ast.Expr = sel
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			parts = append([]string{x.Sel.Name}, parts...)
+			e = x.X
+		default:
+			t := pkg.Info.TypeOf(e)
+			if t == nil {
+				return "", false
+			}
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			named, ok := t.(*types.Named)
+			if !ok || named.Obj() != result {
+				return "", false
+			}
+			return strings.Join(parts, "."), true
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Package kernelsync exercises the kernel-package synchronization ban:
+// the event kernel is single-threaded under virtual time, so runtime
+// synchronization there either does nothing or couples event order to the
+// Go scheduler.
+package kernelsync
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// event guards kernel state with a mutex — the exact pattern the check
+// exists to reject.
+type event struct {
+	mu    sync.Mutex // want "kernelsync: sync.Mutex in a kernel package"
+	count int64
+}
+
+func bump(e *event) {
+	atomic.AddInt64(&e.count, 1) // want "kernelsync: sync/atomic.AddInt64 in a kernel package"
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want "kernelsync: time.Sleep blocks on the wall clock"
+}
+
+func signal(done chan struct{}) { // want "kernelsync: channel type in a kernel package"
+	done <- struct{}{} // want "kernelsync: channel send in a kernel package"
+	close(done)        // want "kernelsync: close on a channel in a kernel package"
+}
+
+func drain(ch chan int) int { // want "kernelsync: channel type in a kernel package"
+	total := 0
+	for v := range ch { // want "kernelsync: range over a channel in a kernel package"
+		total += v
+	}
+	return total
+}
+
+func pick(a, b chan int) int { // want "kernelsync: channel type in a kernel package"
+	select { // want "kernelsync: select in a kernel package"
+	case v := <-a: // want "kernelsync: channel receive in a kernel package"
+		return v
+	case v := <-b: // want "kernelsync: channel receive in a kernel package"
+		return v
+	}
+}
+
+// advance is pure virtual-time arithmetic: the negative case.
+func advance(now, dt float64) float64 { return now + dt }
+
+// attested keeps one documented exception alive through the directive
+// escape hatch.
+func attested(done chan struct{}) { // want "kernelsync: channel type in a kernel package"
+	<-done //simlint:allow kernelsync fixture: attested one-shot completion barrier outside the event loop
+}

@@ -1,0 +1,43 @@
+// Package noallocclosure exercises the call-graph closure of the noalloc
+// proof: a proven function calling an un-proven, non-inlined module
+// function punches a hole in the zero-allocation contract. The package
+// imports nothing so the fixture compiles with a minimal importcfg.
+package noallocclosure
+
+// box is what the cold paths allocate.
+type box struct{ v int }
+
+// small is tiny and inlines into every caller, so a proven caller's own
+// escape span covers it.
+func small(x int) int { return x + 1 }
+
+// coldBuild is the hole: un-proven, and kept out of line so its
+// allocation is never folded into the caller.
+//
+//go:noinline
+func coldBuild(x int) *box { return &box{v: x} }
+
+// provenHelper carries its own contract; forced out of line so the call
+// below exercises the proven-callee branch rather than inlining.
+//
+//simlint:noalloc pure arithmetic
+//go:noinline
+func provenHelper(x int) int { return x * 2 }
+
+// attestedBuild is a sanctioned freelist-growth-style cold path: callers
+// attest each call site.
+//
+//go:noinline
+func attestedBuild(x int) *box { return &box{v: x} }
+
+// Hot is proven; its four calls split across the four cases.
+//
+//simlint:noalloc steady-state fixture hot path
+func Hot(x int, sink *box) int {
+	x = small(x)           // inlined: covered by this function's own escape span
+	b := coldBuild(x)      // want "noallocclosure: Hot is proven //simlint:noalloc but calls coldBuild"
+	x = provenHelper(x)    // proven callee: the contracts compose
+	b2 := attestedBuild(x) //simlint:allow noallocclosure fixture: sanctioned cold-path constructor
+	sink.v = b.v + b2.v
+	return x
+}

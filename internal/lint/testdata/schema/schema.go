@@ -1,0 +1,98 @@
+// Package schema exercises the checkpoint-layout cross-check. The package
+// mirrors the scenario contract — a Result struct, a checkpointLayout /
+// checkpointOmitted declaration pair, encode/decode, and render tables —
+// with one deliberate drift per rule.
+package schema
+
+// Summary stands in for stats.Summary: a nested numeric struct.
+type Summary struct {
+	N    int
+	Mean float64
+}
+
+// Result is the checkpointed aggregate.
+type Result struct {
+	Index      int
+	Name       string
+	Labels     []string
+	EngineResp Summary
+	RespMean   float64
+	Throughput float64
+	Uncovered  float64
+	Scratch    float64
+	Forgotten  float64
+}
+
+type checkpointField struct {
+	Name string
+	get  func(r *Result) float64
+	set  func(r *Result, v float64)
+}
+
+type checkpointOmission struct {
+	Field  string
+	Reason string
+}
+
+var checkpointLayout = []checkpointField{ // want "schema: numeric Result field Forgotten is in neither checkpointLayout nor checkpointOmitted" "schema: non-numeric Result field Labels must be declared in checkpointOmitted"
+	{"EngineResp.N",
+		func(r *Result) float64 { return float64(r.EngineResp.N) },
+		func(r *Result, v float64) { r.EngineResp.N = int(v) }},
+	{"EngineResp.Mean", // want "schema: checkpointLayout entry .EngineResp.Mean. reads r.RespMean in its get accessor"
+		func(r *Result) float64 { return r.RespMean },
+		func(r *Result, v float64) { r.EngineResp.Mean = v }},
+	{"RespMean", // want "schema: checkpointLayout entry .RespMean. writes r.Throughput in its set accessor"
+		func(r *Result) float64 { return r.RespMean },
+		func(r *Result, v float64) { r.Throughput = v }},
+	{"Throughput",
+		func(r *Result) float64 { return r.Throughput },
+		func(r *Result, v float64) { r.Throughput = v }},
+	{"Throughput", // want "schema: duplicate checkpointLayout entry .Throughput."
+		func(r *Result) float64 { return r.Throughput },
+		func(r *Result, v float64) { r.Throughput = v }},
+	{"Bogus", // want "schema: checkpointLayout entry .Bogus. does not name a numeric Result field"
+		func(r *Result) float64 { return r.RespMean },
+		func(r *Result, v float64) { r.RespMean = v }},
+	{"RespMean", getRespMean, setRespMean}, // want "schema: checkpointLayout entry is not statically checkable"
+	{"Uncovered", // want "schema: layout field Uncovered is rendered by neither ComparisonTable nor DetailTable"
+		func(r *Result) float64 { return r.Uncovered },
+		func(r *Result, v float64) { r.Uncovered = v }},
+}
+
+func getRespMean(r *Result) float64    { return r.RespMean }
+func setRespMean(r *Result, v float64) { r.RespMean = v }
+
+var checkpointOmitted = []checkpointOmission{
+	{"Index", "assigned by the runner from the trial slot at decode"},
+	{"Name", "non-numeric; restored from the spec at decode"},
+	{"Ghost", "names a field that no longer exists"}, // want "schema: checkpointOmitted names .Ghost., which is not a Result field"
+	{"Throughput", "already carried"},                // want "schema: .Throughput. is declared omitted but has a checkpointLayout slot"
+	{"Scratch", ""},                                  // want "schema: checkpointOmitted entry .Scratch. needs a reason"
+}
+
+// encodeResult drifts from the layout: a parallel hand-maintained list.
+func encodeResult(r *Result) []float64 { // want "schema: encodeResult does not consume checkpointLayout"
+	return []float64{float64(r.Index), r.RespMean}
+}
+
+// decodeResult consumes the layout — the negative case.
+func decodeResult(vals []float64) (*Result, bool) {
+	if len(vals) != len(checkpointLayout) {
+		return nil, false
+	}
+	r := &Result{}
+	for i, v := range vals {
+		checkpointLayout[i].set(r, v)
+	}
+	return r, true
+}
+
+// DetailTable renders everything except Uncovered.
+func DetailTable(r *Result) []float64 {
+	return []float64{
+		float64(r.EngineResp.N),
+		r.EngineResp.Mean,
+		r.RespMean,
+		r.Throughput,
+	}
+}

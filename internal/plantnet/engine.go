@@ -935,6 +935,8 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 // round-robin is managed: dead replicas, departed gateways and open
 // circuit breakers are skipped, and arms are deadline/hedge-armed (see
 // submitManaged).
+//
+//simlint:noalloc steady-state submission reuses freelist nodes and pre-bound closures
 func (e *engine) submit() {
 	if e.faultsOn || e.resOn {
 		e.submitManaged()
@@ -942,11 +944,11 @@ func (e *engine) submit() {
 	}
 	rep := e.reps[e.next%len(e.reps)]
 	e.next++
-	req := e.newRequest(rep)
+	req := e.newRequest(rep) //simlint:allow noallocclosure newRequest is the freelist refill point; its cold-branch build is the sanctioned allocation site
 	if e.net != nil {
 		// Device -> engine: gateway uplink, then the shared backhaul.
 		if req.netUp == nil {
-			req.bindNet()
+			req.bindNet() //simlint:allow noallocclosure bindNet is the //go:noinline lazy closure-build cold path
 		}
 		req.path = &e.net.paths[e.nextGw%len(e.net.paths)]
 		e.nextGw++

@@ -357,7 +357,7 @@ func (e *engine) dispatchArm(req *request) {
 	e.armRequest(req)
 	if e.net != nil {
 		if req.netUp == nil {
-			req.bindNet()
+			req.bindNet() //simlint:allow noallocclosure bindNet is the //go:noinline lazy closure-build cold path
 		}
 		g := e.pickGateway()
 		req.path = &e.net.paths[g]
@@ -385,7 +385,7 @@ func (e *engine) launchHedge(p *request) {
 		return
 	}
 	idx := e.pickReplicaNot(int(p.repIdx))
-	h := e.newRequest(e.reps[idx])
+	h := e.newRequest(e.reps[idx]) //simlint:allow noallocclosure newRequest is the freelist refill point; its cold-branch build is the sanctioned allocation site
 	h.repIdx = int32(idx)
 	h.pri = p
 	p.arms = 2

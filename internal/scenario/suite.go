@@ -146,61 +146,6 @@ func fingerprint(sc Scenario, seed int64) (hi, lo float64) {
 	return float64(sum >> 32), float64(sum & 0xffffffff)
 }
 
-// encodeResult flattens a Result into checkpoint reports (all finite).
-func encodeResult(r *Result) []tune.Report {
-	vals := []float64{
-		float64(r.Gateways), float64(r.Clients), float64(r.Phases),
-		float64(r.EngineResp.N), r.EngineResp.Mean, r.EngineResp.StdDev,
-		r.EngineResp.Min, r.EngineResp.Max,
-		r.NetOverheadSec, r.RespMean, r.RespP95, r.Throughput,
-		float64(r.Completed),
-		float64(r.FaultGatewayFailures), float64(r.FaultCrashRequeues),
-		float64(r.FaultCrashFailures), float64(r.FaultDropped),
-		float64(r.Failed), float64(r.Retries), float64(r.RetrySuccesses),
-		float64(r.Hedges), float64(r.HedgeWins), float64(r.Rerouted),
-		float64(r.Shed), float64(r.BreakerOpens), float64(r.DeadlineExceeded),
-		r.Goodput, r.Availability,
-	}
-	out := make([]tune.Report, len(vals))
-	for i, v := range vals {
-		out[i] = tune.Report{Iteration: i, Value: v}
-	}
-	return out
-}
-
-// decodeResult rebuilds a Result from checkpoint reports; ok is false when
-// the reports do not carry the expected layout (stale checkpoint format).
-func decodeResult(index int, name string, reports []tune.Report) (*Result, bool) {
-	if len(reports) != 28 {
-		return nil, false
-	}
-	v := make([]float64, len(reports))
-	for i, rep := range reports {
-		if rep.Iteration != i {
-			return nil, false
-		}
-		v[i] = rep.Value
-	}
-	r := &Result{
-		Index: index, Name: name,
-		Gateways: int(v[0]), Clients: int(v[1]), Phases: int(v[2]),
-		NetOverheadSec: v[8], RespMean: v[9], RespP95: v[10], Throughput: v[11],
-		Completed:            int(v[12]),
-		FaultGatewayFailures: int(v[13]), FaultCrashRequeues: int(v[14]),
-		FaultCrashFailures: int(v[15]), FaultDropped: int(v[16]),
-		Failed: int(v[17]), Retries: int(v[18]), RetrySuccesses: int(v[19]),
-		Hedges: int(v[20]), HedgeWins: int(v[21]), Rerouted: int(v[22]),
-		Shed: int(v[23]), BreakerOpens: int(v[24]), DeadlineExceeded: int(v[25]),
-		Goodput: v[26], Availability: v[27],
-	}
-	r.EngineResp.N = int(v[3])
-	r.EngineResp.Mean = v[4]
-	r.EngineResp.StdDev = v[5]
-	r.EngineResp.Min = v[6]
-	r.EngineResp.Max = v[7]
-	return r, true
-}
-
 // RunSuite executes every scenario of the suite on a bounded worker pool
 // with ordered aggregation, optional crash-safe checkpointing, and optional
 // provenance archiving. See Options for the determinism and resume

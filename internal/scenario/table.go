@@ -41,6 +41,7 @@ func DetailTable(r *Result) *export.Table {
 	t.AddRow("user resp time (s)", fmt.Sprintf("%.3f (±%.4f)", r.RespMean, r.EngineResp.StdDev))
 	t.AddRow("engine resp time (s)", r.EngineResp.Mean)
 	t.AddRow("network overhead (s)", r.NetOverheadSec)
+	t.AddRow("engine resp min/max (s)", fmt.Sprintf("%.3f / %.3f", r.EngineResp.Min, r.EngineResp.Max))
 	t.AddRow("engine resp p95 (s)", r.RespP95)
 	t.AddRow("throughput (req/s)", r.Throughput)
 	t.AddRow("completed requests", r.Completed)

@@ -212,7 +212,7 @@ func (l *Link) Transfer(payloadBytes float64, onDone func()) {
 		t = l.free[n-1]
 		l.free = l.free[:n-1]
 	} else {
-		t = l.newTransfer()
+		t = l.newTransfer() //simlint:allow noallocclosure //go:noinline freelist-growth constructor; the hot path reuses pooled transfers
 	}
 	t.work, t.onDone = payloadBytes*8*l.invRate, onDone
 	if l.mtu > 0 {

@@ -133,7 +133,7 @@ func (s *SharedResource) allocJob(work, weight float64, onDone func()) *sharedJo
 		j = s.freeJobs[n-1]
 		s.freeJobs = s.freeJobs[:n-1]
 	} else {
-		j = newSharedJob()
+		j = newSharedJob() //simlint:allow noallocclosure //go:noinline freelist-growth constructor; the hot path reuses pooled jobs
 	}
 	j.remaining, j.weight, j.rate, j.onDone = work, weight, 0, onDone
 	return j
