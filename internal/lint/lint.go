@@ -115,6 +115,13 @@ var KnownChecks = map[string]bool{
 // to these; wallclock, globalrand, and rngseed apply module-wide.
 var DeterministicPackages = []string{
 	"e2clab/internal/sim",
+	// The sharded coordinator is deterministic BY design despite its
+	// goroutines (worker count never affects output; see the package doc),
+	// so it takes the full deterministic-package checks — its parallel
+	// sites carry per-site //simlint:ordered attestations. It is NOT in
+	// KernelPackages: kernelsync keeps the single-threaded kernel free of
+	// synchronization, and this one blessed package holds all of it.
+	"e2clab/internal/sim/shard",
 	"e2clab/internal/fault",
 	"e2clab/internal/resilience",
 	"e2clab/internal/plantnet",

@@ -9,6 +9,7 @@ import (
 	"e2clab/internal/resilience"
 	"e2clab/internal/rngutil"
 	"e2clab/internal/sim"
+	"e2clab/internal/sim/shard"
 	"e2clab/internal/stats"
 	"e2clab/internal/workload"
 )
@@ -84,9 +85,20 @@ type RunOptions struct {
 	// sequential execution. A single Run ignores it (the discrete-event
 	// kernel is single-threaded by design).
 	MaxParallel int
-	Seed        int64
-	Hardware    Hardware    // zero value -> Chifflot()
-	Cal         Calibration // zero value -> DefaultCalibration()
+	// Shards >= 2 runs THIS experiment on the sharded event kernel
+	// (internal/sim/shard): the gateway classes become domain shards, the
+	// replicas/backhaul a core shard, each with a private engine advancing
+	// in conservative lookahead windows, executed by up to Shards workers.
+	// Requires a simulated Network. Output is a fixed-seed deterministic
+	// function of the scenario and is bit-identical for every Shards >= 2
+	// and every GOMAXPROCS — but it is a DIFFERENT deterministic family
+	// than the sequential kernel (domain-partitioned RNG streams; see
+	// sharded.go). Shards <= 1 keeps the sequential kernel, bit-identical
+	// to a run without the field.
+	Shards   int
+	Seed     int64
+	Hardware Hardware    // zero value -> Chifflot()
+	Cal      Calibration // zero value -> DefaultCalibration()
 }
 
 func (o *RunOptions) fillDefaults() {
@@ -279,6 +291,13 @@ type request struct {
 	pri       *request
 	hedgeEv   sim.Event
 
+	// Sharded-kernel bookkeeping (only consulted when e.shRole != shNone;
+	// see sharded.go): the cross-shard token correlating this arm's
+	// up-crossing with its down-crossing, and — on the core — the domain
+	// node the down-message answers to.
+	shTok int64
+	shSrc int32
+
 	// Stage continuations, in pipeline order (bound once in bind).
 	arrive, httpGranted, preDone, dlGranted, dlDone,
 	exGranted, exDone, procDone, ssGranted, ssCPUDone,
@@ -402,6 +421,18 @@ func (req *request) bindNet() {
 			l.Transfer(e.net.upBytes, req.netUp)
 			return
 		}
+		if e.shRole != shNone {
+			// Sharded: the client->replica half-RTT is carried by the
+			// cross-shard crossing, not a local schedule. A domain engine
+			// finished its own uplink and hands the arm to the core; the
+			// core engine finished the backhaul and the request arrives.
+			if e.shRole == shDomain {
+				e.domainCrossUp(req)
+			} else {
+				req.arrive()
+			}
+			return
+		}
 		e.sim.Schedule(e.cal.NetworkRTT/2, req.arrive)
 	}
 	req.netDown = func() {
@@ -417,6 +448,12 @@ func (req *request) bindNet() {
 			l := req.path.down[req.hop]
 			req.hop++
 			l.Transfer(e.net.downBytes, req.netDown)
+			return
+		}
+		if e.shRole == shCore {
+			// The response leaves the core: cross back to the owning
+			// domain, which walks its own downlink and finishes.
+			e.coreCrossDown(req)
 			return
 		}
 		req.finish()
@@ -516,6 +553,26 @@ type engine struct {
 	cFailed    int64
 	goodDone   int64 // completions within the policy timeout (SLO)
 
+	// Sharded-kernel state (see sharded.go). shRole is shNone in the
+	// legacy single-engine discipline; every hot-path branch below is
+	// gated on it so legacy runs take exactly the branches they always
+	// did. A domain engine owns one gateway class and its clients; the
+	// core engine owns the replicas and the backhaul. Crossing latencies
+	// are the halves of the client<->replica path that the cross-shard
+	// message itself travels (at least the window width, by construction).
+	shRole     uint8
+	shCoreID   int32         // domain: node index of the core shard
+	shRepCount int32         // domain: mirrored replica count (e.reps is empty)
+	shDomGw0   int32         // domain: global index of this domain's first gateway
+	shUpLat    float64       // domain->core crossing latency
+	shDownLat  float64       // core->domain crossing latency
+	shOut      *shard.Outbox // current window's outbox (set per Advance)
+	shArms     []*request    // domain: token -> arm awaiting its down-message
+	shArmFree  []int32       // domain: free token slots
+	shTokRep   [][]int32     // core: [domain][token] -> replica index + 1
+	shSlots    []*shSlot     // every inbox slot ever built (refills the freelist)
+	shSlotFree []*shSlot
+
 	openLoop   bool
 	warmupDone bool
 	completed  int
@@ -523,6 +580,7 @@ type engine struct {
 	traces     []RequestTrace
 	windowResp stats.Welford    // responses completed in current sample window
 	respRes    *stats.Reservoir // per-request response times, post-warmup
+	qScratch   []float64        // reused quantile output buffer (see Reservoir.Quantiles)
 	taskAgg    [9]stats.Welford
 	freeReqs   []*request // recycled request nodes (closures pre-bound)
 	allReqs    []*request // every node ever built, to refill freeReqs on reset
@@ -544,6 +602,7 @@ func (e *engine) newRequest(rep *replica) *request {
 	req.start = e.sim.Now()
 	req.tasks = [9]float64{}
 	req.ifIdx = -1
+	req.shTok = -1 // no crossing yet (a hedge may reference its primary's token)
 	if e.resOn {
 		e.initArm(req)
 	}
@@ -559,6 +618,10 @@ func (e *engine) newRequest(rep *replica) *request {
 // complete), which the golden and repeat-determinism tests enforce.
 type Runner struct {
 	e *engine
+	// sh holds the pooled sharded-kernel machinery (per-shard engines,
+	// coordinator, derived network models) when Shards >= 2 is used; nil
+	// otherwise. See sharded.go.
+	sh *shardedState
 }
 
 // NewRunner returns an empty Runner; the first Run populates it.
@@ -588,6 +651,9 @@ func (r *Runner) Run(opts RunOptions) (*Metrics, error) {
 			return nil, err
 		}
 	}
+	if opts.Shards >= 2 {
+		return r.runSharded(opts)
+	}
 	return r.prepare(opts).run(opts)
 }
 
@@ -598,7 +664,14 @@ func (r *Runner) Run(opts RunOptions) (*Metrics, error) {
 // fresh one. Construction performs no RNG draws, so build/reuse ordering
 // cannot perturb determinism.
 func (r *Runner) prepare(opts RunOptions) *engine {
-	e := r.e
+	r.e = prepareEngine(r.e, opts)
+	return r.e
+}
+
+// prepareEngine is prepare's engine-level body, shared with the sharded
+// runner (which prepares one engine per shard from role-specific options;
+// see sharded.go). A nil e builds a fresh engine.
+func prepareEngine(e *engine, opts RunOptions) *engine {
 	if e == nil {
 		e = &engine{
 			sim:    sim.NewEngine(),
@@ -606,7 +679,6 @@ func (r *Runner) prepare(opts RunOptions) *engine {
 			resRng: rngutil.New(opts.Seed + 101),
 		}
 		e.respRes = stats.NewReservoir(8192, e.resRng)
-		r.e = e
 	} else {
 		e.sim.Reset()
 		e.rng.Seed(opts.Seed)
@@ -634,6 +706,9 @@ func (r *Runner) prepare(opts RunOptions) *engine {
 	e.cRetries, e.cRetrySucc, e.cHedges, e.cHedgeWins = 0, 0, 0, 0
 	e.cRerouted, e.cShed, e.cBrkOpens, e.cDeadline = 0, 0, 0, 0
 	e.cFailed, e.goodDone = 0, 0
+	// Role state returns to the legacy discipline; the sharded runner
+	// re-establishes roles after preparing each shard's engine.
+	e.shRole, e.shOut = shNone, nil
 
 	cal, hw := opts.Cal, opts.Hardware
 	gpuRate := func(k float64) float64 {
@@ -831,7 +906,8 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 		// live post-warmup response distribution once enough samples
 		// accumulated (cold path, once per sample interval).
 		if e.resOn && e.resHedgeQ > 0 && e.respRes.N() >= resilience.HedgeMinSamples {
-			e.resHedgeDelay = e.respRes.Quantile(e.resHedgeQ)
+			e.qScratch = e.respRes.Quantiles(e.qScratch[:0], e.resHedgeQ)
+			e.resHedgeDelay = e.qScratch[0]
 		}
 		if t > opts.Warmup {
 			if !e.warmupDone {
@@ -871,9 +947,8 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 	m.Completed = e.completed
 	m.UserResponseTime = respW.Snapshot()
 	if e.respRes.N() > 0 {
-		m.RespP50 = e.respRes.Quantile(0.50)
-		m.RespP95 = e.respRes.Quantile(0.95)
-		m.RespP99 = e.respRes.Quantile(0.99)
+		e.qScratch = e.respRes.Quantiles(e.qScratch[:0], 0.50, 0.95, 0.99)
+		m.RespP50, m.RespP95, m.RespP99 = e.qScratch[0], e.qScratch[1], e.qScratch[2]
 	}
 	m.CPUUtil = cpuW.Snapshot()
 	m.GPUUtil = gpuW.Snapshot()
@@ -938,6 +1013,10 @@ func (e *engine) run(opts RunOptions) (*Metrics, error) {
 //
 //simlint:noalloc steady-state submission reuses freelist nodes and pre-bound closures
 func (e *engine) submit() {
+	if e.shRole == shDomain {
+		e.submitDomain()
+		return
+	}
 	if e.faultsOn || e.resOn {
 		e.submitManaged()
 		return
@@ -1001,6 +1080,12 @@ func (e *engine) complete(req *request) {
 	// the response path hop by hop; the client sees the response and
 	// immediately issues the next request.
 	if e.net != nil {
+		if e.shRole == shCore {
+			// Sharded: the engine->client half-RTT is paid by the
+			// core->domain crossing at the end of the backhaul walk.
+			req.netResp()
+			return
+		}
 		e.sim.Schedule(e.cal.NetworkRTT/2, req.netResp)
 		return
 	}

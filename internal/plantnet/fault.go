@@ -147,8 +147,16 @@ func (e *engine) faultStep() {
 			e.drainParked()
 		}
 	case fault.ReplicaCrash:
+		if e.shRole == shDomain {
+			e.mirrorReplica(ev.Target, true)
+			return
+		}
 		e.crashReplica(ev.Target, ev.RequeueDelaySec)
 	case fault.ReplicaRecover:
+		if e.shRole == shDomain {
+			e.mirrorReplica(ev.Target, false)
+			return
+		}
 		e.recoverReplica(ev.Target)
 	case fault.LinkDown, fault.LinkUp, fault.LinkSet:
 		e.applyLinkEvent(ev)
@@ -186,6 +194,12 @@ func (e *engine) crashReplica(ri int, meanDelay float64) {
 		}
 		if !alive {
 			e.cCrashFail++
+			if e.shRole == shCore {
+				// Sharded: the loss crosses back to the owning domain,
+				// which does the cFailed accounting and parks its client.
+				e.coreEmitFail(req)
+				continue
+			}
 			e.cFailed++
 			e.freeReqs = append(e.freeReqs, req)
 			if !e.openLoop {
@@ -263,6 +277,10 @@ func (e *engine) admit(req *request) bool {
 				e.resolveArm(req)
 				return false
 			}
+			if e.shRole == shCore {
+				e.coreEmitFail(req)
+				return false
+			}
 			e.cFailed++
 			e.freeReqs = append(e.freeReqs, req)
 			if !e.openLoop {
@@ -320,6 +338,12 @@ func (e *engine) untrack(req *request) {
 //simlint:noalloc fault event path (gateway churn, PR 7 contract)
 func (e *engine) failGateway(req *request) {
 	e.cGatewayFail++
+	if e.shRole == shCore {
+		// Sharded: the core detected the churn (global gwDown mirror); the
+		// owning domain does the cFailed accounting and client resubmit.
+		e.coreEmitFail(req)
+		return
+	}
 	e.cFailed++
 	e.freeReqs = append(e.freeReqs, req)
 	if !e.openLoop {

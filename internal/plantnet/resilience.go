@@ -284,6 +284,14 @@ func (e *engine) netDownGuard(req *request) bool {
 //
 //simlint:noalloc arm teardown on the request hot path
 func (e *engine) resolveArm(req *request) {
+	if e.shRole == shCore {
+		// On the core every arm is independent (pri == nil, won never
+		// latched), so a resolving arm is always a genuine failure of one
+		// crossing: report it to the owning domain, which runs the
+		// win/retry/hedge bookkeeping.
+		e.coreEmitFail(req)
+		return
+	}
 	p := req.pri
 	if p != nil {
 		req.pri = nil
@@ -334,7 +342,7 @@ func (e *engine) failLogical(p *request) {
 //
 //simlint:noalloc retry redispatch (event path)
 func (e *engine) redispatch(p *request) {
-	if e.faultsOn && e.repDownCount >= len(e.reps) {
+	if e.faultsOn && e.repDownCount >= e.repCount() {
 		e.failLogical(p)
 		return
 	}
@@ -342,9 +350,11 @@ func (e *engine) redispatch(p *request) {
 		e.failLogical(p)
 		return
 	}
-	idx := e.pickReplica()
-	p.rep = e.reps[idx]
-	p.repIdx = int32(idx)
+	if e.shRole != shDomain {
+		idx := e.pickReplica()
+		p.rep = e.reps[idx]
+		p.repIdx = int32(idx)
+	}
 	p.tasks = [9]float64{}
 	e.dispatchArm(p)
 }
@@ -378,10 +388,22 @@ func (e *engine) launchHedge(p *request) {
 	if p.won || p.arms != 1 {
 		return
 	}
-	if e.faultsOn && e.repDownCount >= len(e.reps) {
+	if e.faultsOn && e.repDownCount >= e.repCount() {
 		return
 	}
 	if e.net != nil && e.faultsOn && e.gwDownCount >= len(e.net.paths) {
+		return
+	}
+	if e.shRole == shDomain {
+		// The replica is picked by the core at crossing arrival; the hedge
+		// message carries the primary's token so the core can prefer a
+		// different replica than the primary's.
+		h := e.newRequest(nil) //simlint:allow noallocclosure newRequest is the freelist refill point; its cold-branch build is the sanctioned allocation site
+		h.repIdx = -1
+		h.pri = p
+		p.arms = 2
+		e.cHedges++
+		e.dispatchArm(h)
 		return
 	}
 	idx := e.pickReplicaNot(int(p.repIdx))

@@ -67,6 +67,7 @@ func BenchmarkFaultedCampaign(b *testing.B) {
 		}),
 	}
 	b.ReportAllocs()
+	reportScenarios(b, len(s.Scenarios))
 	for i := 0; i < b.N; i++ {
 		sr, err := RunSuite(s, Options{})
 		if err != nil {
@@ -78,6 +79,13 @@ func BenchmarkFaultedCampaign(b *testing.B) {
 			}
 		}
 	}
+}
+
+// reportScenarios emits the campaign's scenario count as a benchmark metric
+// so the snapshot scripts can price campaigns per scenario: a suite that
+// grows from 9 to 14 scenarios costs more per op without being slower.
+func reportScenarios(b *testing.B, n int) {
+	b.ReportMetric(float64(n), "scenarios")
 }
 
 // BenchmarkResilientCampaign tracks a ResilienceSweep campaign: the
@@ -117,6 +125,7 @@ func BenchmarkResilientCampaign(b *testing.B) {
 		}),
 	}
 	b.ReportAllocs()
+	reportScenarios(b, len(s.Scenarios))
 	for i := 0; i < b.N; i++ {
 		sr, err := RunSuite(s, Options{})
 		if err != nil {
@@ -133,6 +142,7 @@ func BenchmarkResilientCampaign(b *testing.B) {
 func BenchmarkSuite(b *testing.B) {
 	s := StandardSuite(60, 1, 42)
 	b.ReportAllocs()
+	reportScenarios(b, len(s.Scenarios))
 	for i := 0; i < b.N; i++ {
 		sr, err := RunSuite(s, Options{})
 		if err != nil {

@@ -70,6 +70,15 @@ type Scenario struct {
 	// geometric resend. The resolved value is part of the suite checkpoint
 	// fingerprint: resumed campaigns cannot silently mix models.
 	NetworkModel string `json:"network_model,omitempty"`
+	// Shards runs each engine repetition on the domain-sharded parallel
+	// kernel with this many workers (>= 2). It requires a simulated
+	// network model and is normalized to 0 (sequential) otherwise. Results
+	// are bit-identical for every Shards >= 2, so the checkpoint
+	// fingerprint collapses the worker count: a resumed campaign may
+	// change it freely. The sharded kernel is its own deterministic
+	// family, though — switching between sequential and sharded DOES
+	// change results, and that switch is fingerprinted.
+	Shards int `json:"shards,omitempty"`
 	// Replicas is the number of engine instances (paper: 2 chifflot nodes).
 	Replicas int `json:"replicas,omitempty"`
 	// Pools is the engine thread-pool configuration; zero value means the
@@ -131,6 +140,14 @@ func (s Scenario) withDefaults() Scenario {
 	}
 	if s.Replicas <= 0 {
 		s.Replicas = 1
+	}
+	// The sharded kernel needs a simulated network to partition; anything
+	// else (including Shards: 1) is the sequential kernel, spelled 0 so
+	// equivalent specs fingerprint identically. (NetworkModel is checked
+	// directly — it is already normalized above, and simulatesNetwork()
+	// would recurse into withDefaults.)
+	if s.Shards <= 1 || (s.NetworkModel != "simulated" && s.NetworkModel != "packet") {
+		s.Shards = 0
 	}
 	if s.Pools == (plantnet.PoolConfig{}) {
 		s.Pools = plantnet.Baseline
@@ -608,6 +625,7 @@ func (s Scenario) Run(seed int64, repeatParallelism int) (*Result, error) {
 			Clients:        pr.clients,
 			Arrivals:       pr.arrivals,
 			Network:        netmod,
+			Shards:         d.Shards,
 			Replicas:       d.Replicas,
 			Faults:         d.Faults,
 			Resilience:     d.Resilience,

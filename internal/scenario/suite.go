@@ -32,8 +32,11 @@ type Suite struct {
 	// ("analytical" or "simulated"; see Scenario.NetworkModel). The
 	// resolved per-scenario value is fingerprinted, so changing it
 	// invalidates the checkpoint of every affected scenario.
-	NetworkModel string     `json:"network_model,omitempty"`
-	Scenarios    []Scenario `json:"scenarios"`
+	NetworkModel string `json:"network_model,omitempty"`
+	// Shards is the default sharded-kernel worker count for scenarios that
+	// do not set their own (see Scenario.Shards; 0 = sequential).
+	Shards    int        `json:"shards,omitempty"`
+	Scenarios []Scenario `json:"scenarios"`
 }
 
 // LoadSuite reads a suite definition from JSON (the declarative form the
@@ -72,6 +75,9 @@ func (s Suite) resolved() ([]Scenario, error) {
 		}
 		if sc.NetworkModel == "" {
 			sc.NetworkModel = s.NetworkModel
+		}
+		if sc.Shards == 0 {
+			sc.Shards = s.Shards
 		}
 		sc = sc.withDefaults()
 		if err := sc.Validate(); err != nil {
@@ -138,6 +144,14 @@ const suiteMetric = "user_resp_time"
 // so resume only trusts trials whose spec, protocol, and seed all match.
 // The two halves are stored as exact small integers in Trial.Config.
 func fingerprint(sc Scenario, seed int64) (hi, lo float64) {
+	// The sharded kernel is worker-count invariant (bit-identical results
+	// for any Shards >= 2), so the fingerprint collapses the count to its
+	// canonical 2: retuning parallelism never invalidates a checkpoint,
+	// while switching between the sequential (0) and sharded (>= 2)
+	// deterministic families still does.
+	if sc.Shards > 2 {
+		sc.Shards = 2
+	}
 	h := fnv.New64a()
 	b, _ := json.Marshal(sc)
 	h.Write(b)

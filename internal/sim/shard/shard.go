@@ -1,0 +1,297 @@
+// Package shard runs several private discrete-event engines in parallel
+// under Chandy–Misra-style conservative synchronization. Virtual time is cut
+// into fixed-width windows no wider than the minimum cross-shard lookahead;
+// within a window every node advances its own engine independently (no locks,
+// no shared state), and cross-node events travel as value messages through
+// per-node-pair mailboxes that the coordinator drains at the window barrier
+// in (time, srcNode, seq) order. Because a message emitted inside window k
+// can only be due strictly after window k ends (the lookahead bound), the
+// barrier order — and therefore every engine's event order — is independent
+// of how many OS workers execute the windows, which is what makes fixed-seed
+// sharded runs bit-identical at any worker count.
+//
+// This package deliberately lives OUTSIDE lint.KernelPackages: the
+// single-threaded kernel in internal/sim stays free of runtime
+// synchronization (statically enforced by simlint's kernelsync check), and
+// every goroutine, channel and atomic in the sharded discipline is confined
+// to this one blessed coordinator with per-site //simlint:ordered
+// attestations.
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Msg is the cross-node event envelope: a fixed-size value so mailboxes are
+// flat slices the coordinator can retain and reuse without per-message
+// allocation. At is the virtual delivery time; Src/Seq are stamped by the
+// Outbox and, with At, form the total delivery order (At, Src, Seq). The
+// remaining fields are an application-defined payload (opcode, correlation
+// tokens, scalars, and a small vector — sized for plantnet's per-request
+// task breakdown).
+type Msg struct {
+	At  float64
+	Src int32
+	Dst int32
+	Seq int64
+
+	Kind   int32
+	Ref    int32
+	Token  int64
+	Token2 int64
+	F0, F1 float64
+	Vec    [9]float64
+}
+
+// less is the mailbox delivery order: (At, Src, Seq).
+func (m *Msg) less(o *Msg) bool {
+	if m.At != o.At {
+		return m.At < o.At
+	}
+	if m.Src != o.Src {
+		return m.Src < o.Src
+	}
+	return m.Seq < o.Seq
+}
+
+// Node is one shard: it owns a private engine and advances it in windows.
+// Advance must run the node's virtual clock up to and including until, after
+// first applying every message in inbox (already sorted in delivery order;
+// each At lies in the current window). Messages to other nodes are emitted
+// via out. Advance is called from coordinator workers: it must touch only
+// node-private state — determinism and the race detector both depend on it.
+type Node interface {
+	Advance(until float64, inbox []Msg, out *Outbox)
+}
+
+// Outbox collects one node's cross-shard emissions for the current window,
+// stamping each message with the source node and a per-destination sequence
+// number that is monotonic over the whole run — the (At, Src, Seq) delivery
+// order needs no other tiebreak. Each node writes only its own Outbox, so
+// emission is synchronization-free.
+type Outbox struct {
+	src  int32
+	msgs []Msg
+	seq  []int64 // per-destination emission counters
+}
+
+// Send emits m to node dst. m.At must already be set to the virtual delivery
+// time; Src/Dst/Seq are stamped here.
+//
+//simlint:noalloc steady-state emission appends into buffers retained across windows
+func (o *Outbox) Send(dst int32, m Msg) {
+	m.Src = o.src
+	m.Dst = dst
+	m.Seq = o.seq[dst]
+	o.seq[dst]++
+	o.msgs = append(o.msgs, m)
+}
+
+// Coordinator owns the window loop: it cuts [0, until] into windows of the
+// configured width, hands each node its due mailbox prefix, runs every
+// node's Advance (inline, or on a persistent worker pool), then routes the
+// emitted messages into per-destination pending buffers kept in delivery
+// order. All mutable state is either node-private (engines, outboxes) or
+// touched only between barriers on the coordinator goroutine.
+type Coordinator struct {
+	nodes   []Node
+	window  float64
+	outs    []Outbox
+	pending [][]Msg // per destination, sorted by (At, Src, Seq)
+	inboxes [][]Msg // per destination, the due prefix copied out per window
+	cursor  atomic.Int64
+}
+
+// NewCoordinator builds a coordinator over nodes with the given window
+// width, which must be positive and no larger than the minimum cross-node
+// lookahead (the caller derives it from propagation delay; the Run loop
+// panics on any message that violates it).
+func NewCoordinator(nodes []Node, window float64) *Coordinator {
+	if window <= 0 {
+		panic(fmt.Sprintf("shard: window width must be positive, got %v", window))
+	}
+	n := len(nodes)
+	c := &Coordinator{
+		nodes:   nodes,
+		window:  window,
+		outs:    make([]Outbox, n),
+		pending: make([][]Msg, n),
+		inboxes: make([][]Msg, n),
+	}
+	for i := range c.outs {
+		c.outs[i].src = int32(i)
+		c.outs[i].seq = make([]int64, n)
+	}
+	return c
+}
+
+// Reset prepares a pooled coordinator for a fresh run over the same nodes:
+// emission counters return to zero and the mailbox buffers are emptied, but
+// their backing arrays are retained so a reused coordinator's steady state
+// allocates nothing.
+func (c *Coordinator) Reset(window float64) {
+	if window <= 0 {
+		panic(fmt.Sprintf("shard: window width must be positive, got %v", window))
+	}
+	c.window = window
+	for i := range c.outs {
+		c.outs[i].msgs = c.outs[i].msgs[:0]
+		for j := range c.outs[i].seq {
+			c.outs[i].seq[j] = 0
+		}
+		c.pending[i] = c.pending[i][:0]
+		c.inboxes[i] = c.inboxes[i][:0]
+	}
+}
+
+// Run advances every node to virtual time until (inclusive), window by
+// window. workers bounds the OS-level parallelism: values <= 1 run the
+// window loop inline on the calling goroutine (bit-identical to any other
+// worker count — the tests enforce it); higher values spawn that many
+// persistent workers for the duration of the call, each pulling node
+// indices from a shared atomic cursor. Which worker advances which node can
+// never affect output: nodes share nothing, and routing happens on the
+// coordinator goroutine between barriers in fixed node order. The parallel
+// path lives in runParallel so the inline path stays allocation-free (the
+// worker closure would otherwise make its captured variables escape here).
+//
+//simlint:noalloc steady-state window loop: delivery, advance and routing reuse buffers retained across windows
+func (c *Coordinator) Run(until float64, workers int) {
+	if workers > len(c.nodes) {
+		workers = len(c.nodes)
+	}
+	if workers > 1 {
+		c.runParallel(until, workers) //simlint:allow noallocclosure runParallel is the explicitly-parallel cold path; its worker spawn is per-Run, not per-window
+		return
+	}
+	for k := int64(1); ; k++ {
+		end := c.window * float64(k)
+		if end > until {
+			end = until
+		}
+		c.deliver(end)
+		for i := range c.nodes {
+			c.nodes[i].Advance(end, c.inboxes[i], &c.outs[i]) //simlint:allow noallocclosure Advance is an interface call; each node's own steady-state paths carry their own noalloc contracts (plantnet shSlot pool, sim freelists)
+		}
+		c.route(end)
+		if end >= until {
+			return
+		}
+	}
+}
+
+// runParallel is Run's worker-pool variant: the same window loop with the
+// Advance phase fanned out over persistent goroutines. The channels form
+// the barrier — every worker has sent done (and thus finished every Advance
+// it claimed) before the coordinator routes, and the coordinator has
+// finished delivering before any worker receives start — so node-private
+// state is handed off with a happens-before edge in each direction and the
+// race detector observes the discipline, not just the schedule.
+//
+//simlint:ordered worker assignment is load-balancing only: nodes touch disjoint state and the coordinator routes outboxes in fixed node order after the barrier, so output is independent of worker interleaving
+func (c *Coordinator) runParallel(until float64, workers int) {
+	n := len(c.nodes)
+	start := make(chan float64, workers)
+	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for end := range start {
+				for {
+					i := c.cursor.Add(1) - 1
+					if i >= int64(n) {
+						break
+					}
+					c.nodes[i].Advance(end, c.inboxes[i], &c.outs[i])
+				}
+				done <- struct{}{}
+			}
+		}()
+	}
+	for k := int64(1); ; k++ {
+		end := c.window * float64(k)
+		if end > until {
+			end = until
+		}
+		c.deliver(end)
+		c.cursor.Store(0)
+		for w := 0; w < workers; w++ {
+			start <- end
+		}
+		for w := 0; w < workers; w++ {
+			<-done
+		}
+		c.route(end)
+		if end >= until {
+			break
+		}
+	}
+	close(start)
+	wg.Wait()
+}
+
+// deliver copies each destination's due mailbox prefix (At <= end) into its
+// inbox buffer and compacts the remainder. pending is sorted, so the prefix
+// is contiguous.
+//
+//simlint:noalloc steady-state delivery reuses inbox buffers retained across windows
+func (c *Coordinator) deliver(end float64) {
+	for d := range c.pending {
+		p := c.pending[d]
+		due := 0
+		for due < len(p) && p[due].At <= end {
+			due++
+		}
+		c.inboxes[d] = append(c.inboxes[d][:0], p[:due]...)
+		c.pending[d] = p[:copy(p, p[due:])]
+	}
+}
+
+// route moves every node's window emissions into the destination pending
+// buffers in fixed node order, enforcing the lookahead bound (a message due
+// within the window just executed would have to travel backwards in virtual
+// time at its destination — a programming error, not a recoverable
+// condition).
+//
+//simlint:noalloc steady-state routing reuses pending buffers retained across windows
+func (c *Coordinator) route(end float64) {
+	for i := range c.outs {
+		for _, m := range c.outs[i].msgs {
+			if m.At <= end {
+				lookaheadPanic(i, m.At, end, c.window) //simlint:allow noallocclosure fatal-path formatting; the process dies here
+			}
+			insert(&c.pending[m.Dst], m)
+		}
+		c.outs[i].msgs = c.outs[i].msgs[:0]
+	}
+}
+
+// lookaheadPanic reports a lookahead violation. Kept out of line so route's
+// steady state stays provably allocation-free (the Sprintf arguments would
+// otherwise escape at every call site).
+//
+//go:noinline
+func lookaheadPanic(node int, at, end, window float64) {
+	panic(fmt.Sprintf(
+		"shard: lookahead violation: node %d emitted a message due at %v inside its own window ending %v (window width %v)",
+		node, at, end, window))
+}
+
+// insert places m into the sorted pending buffer. Emissions arrive nearly
+// sorted (each source emits in nondecreasing At), so the linear
+// shift-from-the-back insertion is effectively O(1) per message; hand-rolled
+// to keep the steady-state window loop allocation-free (sort.Slice's closure
+// would escape).
+//
+//simlint:noalloc steady-state routing appends into buffers retained across windows
+func insert(ps *[]Msg, m Msg) {
+	p := append(*ps, m)
+	for i := len(p) - 1; i > 0 && p[i].less(&p[i-1]); i-- {
+		p[i], p[i-1] = p[i-1], p[i]
+	}
+	*ps = p
+}

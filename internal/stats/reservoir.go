@@ -1,15 +1,20 @@
 package stats
 
-import "math/rand"
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
 
 // Reservoir keeps a uniform random sample of a stream (Vitter's algorithm
 // R) so that quantiles of unbounded metric streams — per-request response
 // times over a 23-minute run — can be estimated in bounded memory.
 type Reservoir struct {
-	cap  int
-	n    int64
-	rng  *rand.Rand
-	data []float64
+	cap     int
+	n       int64
+	rng     *rand.Rand
+	data    []float64
+	scratch []float64 // reusable sorted copy for Quantiles
 }
 
 // NewReservoir builds a reservoir of the given capacity (minimum 1).
@@ -52,6 +57,43 @@ func (r *Reservoir) N() int64 { return r.n }
 // Quantile estimates the q-quantile from the retained sample.
 func (r *Reservoir) Quantile(q float64) float64 {
 	return Quantile(r.data, q)
+}
+
+// Quantiles estimates several quantiles at once, appending one value per q
+// to dst (which may be nil or a reused buffer with spare capacity). The
+// retained sample is copied and sorted ONCE into a scratch buffer that is
+// reused across calls — unlike Quantile, which re-copies and re-sorts per
+// call — so a reservoir polled every sample interval allocates nothing in
+// steady state. Each estimate is bit-identical to Quantile(q) on the same
+// reservoir: both interpolate the same sorted order statistics.
+func (r *Reservoir) Quantiles(dst []float64, qs ...float64) []float64 {
+	if len(r.data) == 0 {
+		for range qs {
+			dst = append(dst, math.NaN())
+		}
+		return dst
+	}
+	r.scratch = append(r.scratch[:0], r.data...)
+	sort.Float64s(r.scratch)
+	s := r.scratch
+	for _, q := range qs {
+		switch {
+		case q <= 0:
+			dst = append(dst, s[0])
+		case q >= 1:
+			dst = append(dst, s[len(s)-1])
+		default:
+			pos := q * float64(len(s)-1)
+			lo := int(math.Floor(pos))
+			frac := pos - float64(lo)
+			if lo+1 >= len(s) {
+				dst = append(dst, s[lo])
+			} else {
+				dst = append(dst, s[lo]*(1-frac)+s[lo+1]*frac)
+			}
+		}
+	}
+	return dst
 }
 
 // Values returns a copy of the retained sample.

@@ -1,0 +1,52 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantilesMatchesQuantile pins the S-PR10 contract: Quantiles must be
+// bit-identical to repeated Quantile calls (the metrics finalize path swaps
+// three Quantile calls for one Quantiles call and the golden pins must not
+// move), while sorting the retained sample only once into a reused scratch.
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	r := NewReservoir(512, rand.New(rand.NewSource(7)))
+	for i := 0; i < 5000; i++ {
+		r.Add(rng.ExpFloat64() * 3.5)
+	}
+	qs := []float64{0, 0.25, 0.50, 0.95, 0.99, 1}
+	got := r.Quantiles(nil, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("Quantiles returned %d values, want %d", len(got), len(qs))
+	}
+	for i, q := range qs {
+		want := r.Quantile(q)
+		if got[i] != want {
+			t.Errorf("q=%v: Quantiles=%v Quantile=%v (must be bit-identical)", q, got[i], want)
+		}
+	}
+	// Reuse must not allocate and must not perturb values.
+	buf := got[:0]
+	again := r.Quantiles(buf, qs...)
+	for i := range qs {
+		if again[i] != got[i] {
+			t.Errorf("reused-buffer call diverged at q=%v", qs[i])
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = r.Quantiles(buf[:0], 0.50, 0.95, 0.99)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Quantiles allocates %v times per call, want 0", allocs)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	r := NewReservoir(8, rand.New(rand.NewSource(1)))
+	got := r.Quantiles(nil, 0.5, 0.99)
+	if len(got) != 2 || !math.IsNaN(got[0]) || !math.IsNaN(got[1]) {
+		t.Fatalf("empty reservoir: got %v, want two NaNs", got)
+	}
+}

@@ -23,11 +23,13 @@ run() { # run <package> <bench regexp>
     run ./internal/surrogate/ 'BenchmarkForestFit|BenchmarkPredictBatch'
     run ./internal/bo/ 'BenchmarkAskLoop'
     run ./internal/scenario/ 'BenchmarkSuite|BenchmarkNetworkPath|BenchmarkFaultedCampaign|BenchmarkResilientCampaign'
+    run ./internal/plantnet/ 'BenchmarkShardedScale'
     run . 'BenchmarkTable3Optimization|BenchmarkTable2Baseline'
 } >"$tmp"
 
 # Convert benchmark lines to JSON: the name, iterations, and each of the
-# `<value> <unit>` pairs we track (ns/op, B/op, allocs/op).
+# `<value> <unit>` pairs we track (ns/op, B/op, allocs/op, and the campaign
+# benchmarks' scenario count, so readers can price campaigns per scenario).
 {
     printf '{\n'
     printf '  "git": "%s",\n' "$(git rev-parse HEAD 2>/dev/null || echo unknown)"
@@ -39,15 +41,18 @@ run() { # run <package> <bench regexp>
             name = $1
             sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
             iters = $2
-            ns = "null"; bytes = "null"; allocs = "null"
+            ns = "null"; bytes = "null"; allocs = "null"; scenarios = "null"
             for (i = 3; i < NF; i++) {
                 if ($(i+1) == "ns/op") ns = $i
                 else if ($(i+1) == "B/op") bytes = $i
                 else if ($(i+1) == "allocs/op") allocs = $i
+                else if ($(i+1) == "scenarios") scenarios = $i
             }
             if (n++) printf ",\n"
-            printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
                 name, iters, ns, bytes, allocs
+            if (scenarios != "null") printf ", \"scenarios\": %s", scenarios
+            printf "}"
         }
         END { if (n) printf "\n" }
     ' "$tmp"

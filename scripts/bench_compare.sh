@@ -18,16 +18,21 @@ threshold="${THRESHOLD:-0.10}"
 
 # Snapshots are written one benchmark per line, so a line-oriented parse is
 # reliable. Pre-PR-3 snapshots lack the memory fields; those read as null
-# and their allocation check is skipped.
+# and their allocation check is skipped. Campaign benchmarks carry a
+# "scenarios" count; when BOTH snapshots have one, ns/op and allocs/op are
+# normalized per scenario before gating, so a suite that grew from 9 to 14
+# scenarios is priced by per-scenario cost instead of reading as a
+# regression.
 extract() {
     awk '
         /"name":/ {
-            name = ""; ns = "null"; bytes = "null"; allocs = "null"
+            name = ""; ns = "null"; bytes = "null"; allocs = "null"; scn = "null"
             if (match($0, /"name": "[^"]*"/))            name = substr($0, RSTART + 9, RLENGTH - 10)
             if (match($0, /"ns_per_op": [0-9.e+-]+/))     ns = substr($0, RSTART + 13, RLENGTH - 13)
             if (match($0, /"bytes_per_op": [0-9.e+-]+/))  bytes = substr($0, RSTART + 16, RLENGTH - 16)
             if (match($0, /"allocs_per_op": [0-9.e+-]+/)) allocs = substr($0, RSTART + 17, RLENGTH - 17)
-            if (name != "") print name, ns, bytes, allocs
+            if (match($0, /"scenarios": [0-9.e+-]+/))     scn = substr($0, RSTART + 13, RLENGTH - 13)
+            if (name != "") print name, ns, bytes, allocs, scn
         }' "$1"
 }
 
@@ -57,15 +62,19 @@ awk -v thr="$threshold" '
         else if (d < -5)   { mark = "improved" }
         printf "%-45s %-10s %14.0f -> %14.0f  %+7.1f%%  %s\n", name, metric, o, n, d, mark
     }
+    function norm(v, scn) {
+        if (v == "null" || scn == "null" || scn + 0 == 0) return v
+        return v / scn
+    }
     NR == FNR {
         order[++nOld] = $1
-        oldNs[$1] = $2; oldAllocs[$1] = $4
+        oldNs[$1] = $2; oldAllocs[$1] = $4; oldScn[$1] = $5
         next
     }
     {
         newSeen[$1] = 1
         if (!($1 in oldNs)) { printf "%-45s new benchmark (no baseline)\n", $1; next }
-        newNs[$1] = $2; newAllocs[$1] = $4
+        newNs[$1] = $2; newAllocs[$1] = $4; newScn[$1] = $5
     }
     END {
         matched = 0
@@ -77,6 +86,13 @@ awk -v thr="$threshold" '
                 continue
             }
             matched++
+            # Per-scenario normalization only when both sides carry a count;
+            # a count on one side only falls back to the raw comparison.
+            if (oldScn[name] != "null" && newScn[name] != "null") {
+                check(name, "ns/scn", norm(oldNs[name], oldScn[name]), norm(newNs[name], newScn[name]))
+                check(name, "allocs/scn", norm(oldAllocs[name], oldScn[name]), norm(newAllocs[name], newScn[name]))
+                continue
+            }
             check(name, "ns/op", oldNs[name], newNs[name])
             check(name, "allocs/op", oldAllocs[name], newAllocs[name])
         }

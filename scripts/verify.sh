@@ -78,6 +78,8 @@ gate race go test -race "${race_pkgs[@]}"
 # repeated-run pool against mutated engine state.
 gate chaos-race go test -race -count=1 -run 'Fault|Chaos|Resilien|Availability|Flap|Crash|Churn' \
     ./internal/plantnet/ ./internal/scenario/
-# Allocation-regression gate: -count=1 forces a real (uncached) run.
-gate zero-alloc go test -run 'TestZeroAlloc' -count=1 ./internal/sim/
+# Allocation-regression gate: -count=1 forces a real (uncached) run. The
+# sharded coordinator's steady-state window loop carries the same contract
+# (TestZeroAllocShardWindows).
+gate zero-alloc go test -run 'TestZeroAlloc' -count=1 ./internal/sim/ ./internal/sim/shard/
 echo "verify OK"
